@@ -1,0 +1,82 @@
+#include "bench_util.hh"
+
+#include <cstdlib>
+
+namespace mask {
+namespace bench {
+
+RunOptions
+benchOptions()
+{
+    RunOptions options;
+    options.warmup = 24000;
+    options.measure = 80000;
+    if (const char *fast = std::getenv("MASK_BENCH_FAST");
+        fast != nullptr && fast[0] == '1') {
+        options.warmup = 6000;
+        options.measure = 20000;
+    }
+    if (const char *cycles = std::getenv("MASK_BENCH_CYCLES")) {
+        const long long n = std::atoll(cycles);
+        if (n > 0) {
+            options.measure = static_cast<Cycle>(n);
+            options.warmup = std::max<Cycle>(4000, options.measure / 4);
+        }
+    }
+    return options;
+}
+
+std::vector<WorkloadPair>
+benchPairs()
+{
+    std::vector<WorkloadPair> pairs = workloadPairs();
+    if (const char *cap = std::getenv("MASK_BENCH_PAIRS")) {
+        const long long n = std::atoll(cap);
+        if (n > 0 && static_cast<std::size_t>(n) < pairs.size())
+            pairs.resize(static_cast<std::size_t>(n));
+    }
+    return pairs;
+}
+
+const std::vector<DesignPoint> &
+reportedDesigns()
+{
+    static const std::vector<DesignPoint> designs = {
+        DesignPoint::Static,    DesignPoint::PwCache,
+        DesignPoint::SharedTlb, DesignPoint::MaskTlb,
+        DesignPoint::MaskCache, DesignPoint::MaskDram,
+        DesignPoint::Mask,
+    };
+    return designs;
+}
+
+void
+banner(const char *figure, const char *description)
+{
+    std::printf("==================================================="
+                "=========================\n");
+    std::printf("%s — %s\n", figure, description);
+    const RunOptions options = benchOptions();
+    std::printf("(windows: %llu warmup + %llu measured cycles)\n",
+                static_cast<unsigned long long>(options.warmup),
+                static_cast<unsigned long long>(options.measure));
+    std::printf("==================================================="
+                "=========================\n");
+}
+
+void
+progress(const std::string &what)
+{
+    std::fprintf(stderr, "[bench] %s\n", what.c_str());
+}
+
+std::string
+fmt(double v, int decimals)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+} // namespace bench
+} // namespace mask

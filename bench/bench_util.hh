@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table reproduction harnesses: run
+ * windows (env-tunable), table formatting, and common sweeps.
+ *
+ * Environment knobs:
+ *   MASK_BENCH_CYCLES=<n>  measurement window (default 80000)
+ *   MASK_BENCH_FAST=1      short CI windows
+ *   MASK_BENCH_PAIRS=<n>   cap the number of workload pairs swept
+ */
+
+#ifndef MASK_BENCH_BENCH_UTIL_HH
+#define MASK_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/presets.hh"
+#include "sim/runner.hh"
+#include "workload/suite.hh"
+
+namespace mask {
+namespace bench {
+
+/** Run windows honoring the environment. */
+RunOptions benchOptions();
+
+/** Pairs to sweep, honoring MASK_BENCH_PAIRS. */
+std::vector<WorkloadPair> benchPairs();
+
+/** The seven non-ideal design points in reporting order. */
+const std::vector<DesignPoint> &reportedDesigns();
+
+/** Print a header like the paper's figure captions. */
+void banner(const char *figure, const char *description);
+
+/** Progress note to stderr (stdout stays machine-parsable). */
+void progress(const std::string &what);
+
+/** geometric-ish readable float. */
+std::string fmt(double v, int decimals = 3);
+
+} // namespace bench
+} // namespace mask
+
+#endif // MASK_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 11: multiprogrammed weighted speedup, averaged per n-HMR
+ * workload category, for all eight design points (Static, PWCache,
+ * SharedTLB, MASK-TLB, MASK-Cache, MASK-DRAM, MASK, Ideal).
+ */
+
+#include <map>
+
+#include "bench_util.hh"
+
+using namespace mask;
+
+int
+main()
+{
+    bench::banner("Figure 11",
+                  "weighted speedup by workload category, all designs");
+
+    Evaluator eval(bench::benchOptions());
+    const GpuConfig arch = archByName("maxwell");
+
+    std::vector<DesignPoint> designs = bench::reportedDesigns();
+    designs.push_back(DesignPoint::Ideal);
+
+    // category (0,1,2, 3=all) x design -> sum/count
+    std::map<int, std::map<DesignPoint, double>> sums;
+    std::map<int, int> counts;
+
+    for (const WorkloadPair &pair : bench::benchPairs()) {
+        for (const DesignPoint point : designs) {
+            bench::progress("fig11 " + pair.name() + " " +
+                            designPointName(point));
+            const PairResult r = eval.evaluate(
+                arch, point, {pair.first, pair.second});
+            sums[pair.hmr][point] += r.weightedSpeedup;
+            sums[3][point] += r.weightedSpeedup;
+        }
+        ++counts[pair.hmr];
+        ++counts[3];
+    }
+
+    std::printf("%-10s", "category");
+    for (const DesignPoint point : designs)
+        std::printf(" %10s", designPointName(point));
+    std::printf("\n");
+    const char *labels[4] = {"0-HMR", "1-HMR", "2-HMR", "Average"};
+    for (int cat = 0; cat < 4; ++cat) {
+        if (counts[cat] == 0)
+            continue;
+        std::printf("%-10s", labels[cat]);
+        for (const DesignPoint point : designs)
+            std::printf(" %10.3f", sums[cat][point] / counts[cat]);
+        std::printf("\n");
+    }
+
+    const double shared = sums[3][DesignPoint::SharedTlb];
+    const double mask_ws = sums[3][DesignPoint::Mask];
+    const double ideal = sums[3][DesignPoint::Ideal];
+    std::printf("\nMASK vs SharedTLB: %+.1f%%   MASK vs Ideal: "
+                "%.1f%% below\n",
+                100.0 * (mask_ws / shared - 1.0),
+                100.0 * (1.0 - mask_ws / ideal));
+    std::printf("Paper: MASK +57.8%% over SharedTLB, 23.2%% below "
+                "Ideal (58.7%%/61.2%%/52.0%% gains for "
+                "0/1/2-HMR).\n");
+    return 0;
+}

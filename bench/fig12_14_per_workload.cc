@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Figures 12-14: per-workload weighted speedup for the seven
+ * non-ideal designs, grouped by 0/1/2-HMR category (one paper figure
+ * per category).
+ */
+
+#include "bench_util.hh"
+
+using namespace mask;
+
+int
+main()
+{
+    bench::banner("Figures 12-14",
+                  "per-workload weighted speedup by category");
+
+    Evaluator eval(bench::benchOptions());
+    const GpuConfig arch = archByName("maxwell");
+    const auto &designs = bench::reportedDesigns();
+
+    const std::vector<WorkloadPair> all = bench::benchPairs();
+    for (int cat = 0; cat <= 2; ++cat) {
+        std::printf("\n--- Figure %d (%d-HMR workloads) ---\n",
+                    12 + cat, cat);
+        std::printf("%-14s", "workload");
+        for (const DesignPoint point : designs)
+            std::printf(" %10s", designPointName(point));
+        std::printf("\n");
+        for (const WorkloadPair &pair : all) {
+            if (pair.hmr != cat)
+                continue;
+            std::printf("%-14s", pair.name().c_str());
+            for (const DesignPoint point : designs) {
+                bench::progress("fig12-14 " + pair.name() + " " +
+                                designPointName(point));
+                const PairResult r = eval.evaluate(
+                    arch, point, {pair.first, pair.second});
+                std::printf(" %10.3f", r.weightedSpeedup);
+            }
+            std::printf("\n");
+        }
+    }
+    std::printf("\nPaper: MASK outperforms Static, PWCache and "
+                "SharedTLB on every workload; gains are largest for "
+                "pairs with TLB-sensitive applications.\n");
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Table 2: benchmark categorization by L1 and L2 TLB miss rate
+ * (measured alone on half the GPU, SharedTLB design), validating that
+ * each synthetic benchmark lands in its paper quadrant.
+ */
+
+#include "bench_util.hh"
+#include "sim/gpu.hh"
+
+using namespace mask;
+
+int
+main()
+{
+    bench::banner("Table 2",
+                  "benchmark L1/L2 TLB miss-rate categorization");
+
+    const RunOptions options = bench::benchOptions();
+    GpuConfig cfg =
+        applyDesignPoint(archByName("maxwell"), DesignPoint::SharedTlb);
+    cfg.numCores /= 2; // the paper's per-app share in 2-app workloads
+
+    std::printf("%-8s %8s %8s %10s %10s %6s\n", "bench", "l1miss",
+                "l2miss", "expected", "measured", "match");
+    int mismatches = 0;
+    for (const BenchmarkParams &benchp : benchmarkSuite()) {
+        bench::progress(std::string("tab2 ") + benchp.name);
+        Gpu gpu(cfg, {AppDesc{&benchp}});
+        gpu.run(options.warmup);
+        gpu.resetStats();
+        gpu.run(options.measure);
+        const GpuStats stats = gpu.collect();
+
+        const double l1 = stats.l1Tlb.missRate();
+        const double l2 = stats.l2Tlb.missRate();
+        const char expect_l1 =
+            benchp.l1Class == MissClass::High ? 'H' : 'L';
+        const char expect_l2 =
+            benchp.l2Class == MissClass::High ? 'H' : 'L';
+        // The paper's threshold: 20% miss rate. L2 TLB traffic below
+        // 0.1% of L1 accesses is classified Low regardless of its
+        // (cold-start-dominated) rate — such apps are insensitive to
+        // shared-TLB behaviour, which is what the class encodes.
+        const bool l2_negligible =
+            stats.l2Tlb.accesses() * 1000 < stats.l1Tlb.accesses();
+        const char got_l1 = l1 >= 0.20 ? 'H' : 'L';
+        const char got_l2 = l2 >= 0.20 && !l2_negligible ? 'H' : 'L';
+        const bool match = expect_l1 == got_l1 && expect_l2 == got_l2;
+        mismatches += !match;
+        std::printf("%-8s %7.1f%% %7.1f%% %9c%c %9c%c %6s\n",
+                    benchp.name, 100.0 * l1, 100.0 * l2, expect_l1,
+                    expect_l2, got_l1, got_l2, match ? "ok" : "MISS");
+    }
+    std::printf("\n%d of %zu benchmarks out of their Table 2 "
+                "quadrant.\n",
+                mismatches, benchmarkSuite().size());
+    return mismatches == 0 ? 0 : 1;
+}

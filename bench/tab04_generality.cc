@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Table 4: generality across GPU architectures — PWCache, SharedTLB
+ * and MASK normalized to Ideal on the Fermi-like and integrated-GPU
+ * configurations.
+ */
+
+#include "bench_util.hh"
+
+using namespace mask;
+
+int
+main()
+{
+    bench::banner("Table 4",
+                  "average performance normalized to Ideal on other "
+                  "architectures");
+
+    Evaluator eval(bench::benchOptions());
+    const std::vector<DesignPoint> designs = {DesignPoint::PwCache,
+                                              DesignPoint::SharedTlb,
+                                              DesignPoint::Mask};
+
+    std::printf("%-12s %10s %10s %10s\n", "arch", "PWCache",
+                "SharedTLB", "MASK");
+    for (const char *arch_name : {"fermi", "integrated"}) {
+        const GpuConfig arch = archByName(arch_name);
+        double sums[3] = {};
+        double ideal_sum = 0.0;
+        int n = 0;
+        for (const WorkloadPair &pair : bench::benchPairs()) {
+            bench::progress(std::string("tab4 ") + arch_name + " " +
+                            pair.name());
+            const std::vector<std::string> names = {pair.first,
+                                                    pair.second};
+            const double ideal =
+                eval.evaluate(arch, DesignPoint::Ideal, names)
+                    .weightedSpeedup;
+            ideal_sum += ideal;
+            for (std::size_t d = 0; d < designs.size(); ++d) {
+                sums[d] += safeDiv(
+                    eval.evaluate(arch, designs[d], names)
+                        .weightedSpeedup,
+                    ideal);
+            }
+            ++n;
+        }
+        std::printf("%-12s %9.1f%% %9.1f%% %9.1f%%\n", arch_name,
+                    100.0 * sums[0] / n, 100.0 * sums[1] / n,
+                    100.0 * sums[2] / n);
+    }
+    std::printf("\nPaper: Fermi 53.1/60.4/78.0%%; integrated GPU "
+                "52.1/38.2/64.5%% of Ideal.\n");
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * TLB contention study: uses the library's introspection API to watch
+ * what actually happens inside the shared L2 TLB when two irregular
+ * applications share the GPU — miss rates, walker pressure, stalled
+ * warps, and how MASK's tokens change the picture — across a sweep of
+ * shared L2 TLB sizes.
+ *
+ *   ./build/examples/tlb_contention_study
+ */
+
+#include <cstdio>
+
+#include "sim/gpu.hh"
+#include "sim/presets.hh"
+#include "workload/suite.hh"
+
+int
+main()
+{
+    using namespace mask;
+
+    const BenchmarkParams &a = findBenchmark("MUM");
+    const BenchmarkParams &b = findBenchmark("CONS");
+    std::printf("Workload: MUM + CONS (both High/High in Table 2)\n\n");
+    std::printf("%-8s %-10s %8s %8s %9s %9s %9s %8s\n", "L2TLB",
+                "design", "IPC", "l2miss", "missLat", "walks",
+                "warps/miss", "tokens");
+
+    for (const std::uint32_t entries : {128u, 512u, 2048u}) {
+        for (const DesignPoint point :
+             {DesignPoint::SharedTlb, DesignPoint::Mask}) {
+            GpuConfig cfg =
+                applyDesignPoint(archByName("maxwell"), point);
+            cfg.l2Tlb.entries = entries;
+            Gpu gpu(cfg, {AppDesc{&a}, AppDesc{&b}});
+            gpu.run(20000);
+            gpu.resetStats();
+            gpu.run(60000);
+            GpuStats s = gpu.collect();
+            std::printf(
+                "%-8u %-10s %8.2f %7.1f%% %9.0f %9llu %9.1f %8u\n",
+                entries, designPointName(point),
+                s.ipc[0] + s.ipc[1], 100.0 * s.l2Tlb.missRate(),
+                s.tlbMissLatency.mean(),
+                static_cast<unsigned long long>(s.walks),
+                s.warpsPerMiss.mean(), s.tokens[0]);
+        }
+    }
+
+    std::printf("\nThings to notice:\n"
+                " - a bigger shared TLB cuts miss rates for both "
+                "designs (capacity), but\n"
+                " - MASK's tokens + bypass cache cut *thrashing* at "
+                "the same capacity, and\n"
+                " - the remaining misses complete faster (L2 bypass + "
+                "golden queue).\n");
+    return 0;
+}

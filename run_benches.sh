@@ -1,0 +1,10 @@
+#!/bin/sh
+# Regenerates every paper table/figure. Output: bench_output.txt.
+# MASK_BENCH_CYCLES / MASK_BENCH_FAST / MASK_BENCH_PAIRS shrink runs.
+set -e
+for b in build/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    echo ""
+    echo "########## $(basename "$b") ##########"
+    "$b" || echo "(non-zero exit: $?)"
+done

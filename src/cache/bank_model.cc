@@ -1,0 +1,62 @@
+#include "cache/bank_model.hh"
+
+#include <cassert>
+
+namespace mask {
+
+LatencyPipe::LatencyPipe(std::uint32_t ports, std::uint32_t latency)
+    : ports_(ports), latency_(latency)
+{
+    assert(ports_ > 0);
+}
+
+bool
+LatencyPipe::canAccept(Cycle now) const
+{
+    if (portCycle_ != now) {
+        portCycle_ = now;
+        usedThisCycle_ = 0;
+    }
+    return usedThisCycle_ < ports_;
+}
+
+void
+LatencyPipe::push(std::uint64_t payload, Cycle now)
+{
+    assert(canAccept(now));
+    // Maintain the per-cycle port count here as well: push must not
+    // depend on the caller having invoked canAccept first.
+    if (portCycle_ != now) {
+        portCycle_ = now;
+        usedThisCycle_ = 0;
+    }
+    ++usedThisCycle_;
+    pipe_.push_back(Entry{payload, now + latency_});
+}
+
+bool
+LatencyPipe::hasReady(Cycle now) const
+{
+    return !pipe_.empty() && pipe_.front().readyAt <= now;
+}
+
+std::uint64_t
+LatencyPipe::pop()
+{
+    assert(!pipe_.empty());
+    const std::uint64_t payload = pipe_.front().payload;
+    pipe_.pop_front();
+    return payload;
+}
+
+BankedPipe::BankedPipe(std::uint32_t banks, std::uint32_t ports,
+                       std::uint32_t latency)
+{
+    assert(banks > 0 && (banks & (banks - 1)) == 0);
+    banks_.reserve(banks);
+    for (std::uint32_t i = 0; i < banks; ++i)
+        banks_.emplace_back(ports, latency);
+    bankMask_ = banks - 1;
+}
+
+} // namespace mask

@@ -1,0 +1,36 @@
+#include "cache/mshr.hh"
+
+#include <cassert>
+
+namespace mask {
+
+MshrTable::MshrTable(std::uint32_t entries) : entries_(entries) {}
+
+MshrTable::Outcome
+MshrTable::allocate(std::uint64_t key, ReqId waiter)
+{
+    auto it = table_.find(key);
+    if (it != table_.end()) {
+        it->second.push_back(waiter);
+        ++merges_;
+        return Outcome::Merged;
+    }
+    if (table_.size() >= entries_) {
+        ++rejections_;
+        return Outcome::Full;
+    }
+    table_.emplace(key, std::vector<ReqId>{waiter});
+    return Outcome::Allocated;
+}
+
+std::vector<ReqId>
+MshrTable::complete(std::uint64_t key)
+{
+    auto it = table_.find(key);
+    assert(it != table_.end() && "MSHR complete on unknown key");
+    std::vector<ReqId> waiters = std::move(it->second);
+    table_.erase(it);
+    return waiters;
+}
+
+} // namespace mask

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Miss-status holding register (MSHR) table for cache-like structures.
+ *
+ * Outstanding misses are keyed by line/page key; secondary misses to
+ * the same key merge into the existing entry and are woken together
+ * when the fill arrives.
+ */
+
+#ifndef MASK_CACHE_MSHR_HH
+#define MASK_CACHE_MSHR_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mask {
+
+/** MSHR table whose waiters are ReqId handles. */
+class MshrTable
+{
+  public:
+    explicit MshrTable(std::uint32_t entries);
+
+    enum class Outcome : std::uint8_t {
+        Allocated, //!< primary miss; caller must send the fill request
+        Merged,    //!< secondary miss; waiter attached to existing entry
+        Full,      //!< no entry free; caller must retry later
+    };
+
+    /**
+     * Record a miss on @p key with @p waiter to wake on fill.
+     */
+    Outcome allocate(std::uint64_t key, ReqId waiter);
+
+    /** True if a miss on @p key is already outstanding. */
+    bool has(std::uint64_t key) const { return table_.contains(key); }
+
+    /**
+     * Fill arrived for @p key: returns all waiters (primary first) and
+     * frees the entry. Key must be present.
+     */
+    std::vector<ReqId> complete(std::uint64_t key);
+
+    std::uint32_t size() const
+    {
+        return static_cast<std::uint32_t>(table_.size());
+    }
+    std::uint32_t capacity() const { return entries_; }
+    std::uint64_t merges() const { return merges_; }
+    std::uint64_t rejections() const { return rejections_; }
+
+  private:
+    std::uint32_t entries_;
+    std::unordered_map<std::uint64_t, std::vector<ReqId>> table_;
+    std::uint64_t merges_ = 0;
+    std::uint64_t rejections_ = 0;
+};
+
+} // namespace mask
+
+#endif // MASK_CACHE_MSHR_HH

@@ -1,0 +1,119 @@
+#include "common/config.hh"
+
+namespace mask {
+
+const char *
+designPointName(DesignPoint point)
+{
+    switch (point) {
+      case DesignPoint::Static:
+        return "Static";
+      case DesignPoint::PwCache:
+        return "PWCache";
+      case DesignPoint::SharedTlb:
+        return "SharedTLB";
+      case DesignPoint::MaskTlb:
+        return "MASK-TLB";
+      case DesignPoint::MaskCache:
+        return "MASK-Cache";
+      case DesignPoint::MaskDram:
+        return "MASK-DRAM";
+      case DesignPoint::Mask:
+        return "MASK";
+      case DesignPoint::Ideal:
+        return "Ideal";
+    }
+    return "?";
+}
+
+GpuConfig
+applyDesignPoint(GpuConfig base, DesignPoint point)
+{
+    base.design = TranslationDesign::SharedTlb;
+    // Reset the mechanism selection but preserve any tuning fields
+    // (epoch length, queue sizes, guards) the caller customized.
+    base.mask.tlbTokens = false;
+    base.mask.l2Bypass = false;
+    base.mask.dramSched = false;
+    base.partition = PartitionConfig{};
+
+    switch (point) {
+      case DesignPoint::Static:
+        base.partition.partitionL2 = true;
+        base.partition.partitionDramChannels = true;
+        break;
+      case DesignPoint::PwCache:
+        base.design = TranslationDesign::PwCache;
+        break;
+      case DesignPoint::SharedTlb:
+        break;
+      case DesignPoint::MaskTlb:
+        base.mask.tlbTokens = true;
+        break;
+      case DesignPoint::MaskCache:
+        base.mask.l2Bypass = true;
+        break;
+      case DesignPoint::MaskDram:
+        base.mask.dramSched = true;
+        break;
+      case DesignPoint::Mask:
+        base.mask.tlbTokens = true;
+        base.mask.l2Bypass = true;
+        base.mask.dramSched = true;
+        break;
+      case DesignPoint::Ideal:
+        base.design = TranslationDesign::Ideal;
+        break;
+    }
+    return base;
+}
+
+GpuConfig
+maxwellConfig()
+{
+    // Defaults in GpuConfig are the Maxwell-like Table 1 parameters.
+    GpuConfig cfg;
+    cfg.name = "maxwell";
+    return cfg;
+}
+
+GpuConfig
+fermiConfig()
+{
+    GpuConfig cfg;
+    cfg.name = "fermi";
+    // GTX 480: 15 SMs, smaller caches, narrower memory system.
+    // 12 ways keeps the 768KB L2 at a power-of-two set count, and the
+    // six physical memory controllers are modeled as four channels
+    // (the address mapper interleaves with power-of-two masks).
+    cfg.numCores = 15;
+    cfg.warpsPerCore = 48;
+    cfg.l1d = CacheConfig{16384, 128, 4, 1, 1, 1, 32};
+    cfg.l2 = CacheConfig{768 * 1024, 128, 12, 10, 8, 2, 128};
+    cfg.l2Tlb = TlbConfig{512, 16, 10, 2, 128};
+    cfg.dram.channels = 4;
+    return cfg;
+}
+
+GpuConfig
+integratedGpuConfig()
+{
+    GpuConfig cfg;
+    cfg.name = "integrated";
+    // Power et al. style integrated GPU: few cores, a single shared
+    // memory channel pair, small shared L2.
+    cfg.numCores = 16;
+    cfg.warpsPerCore = 48;
+    cfg.l2 = CacheConfig{1024 * 1024, 128, 16, 10, 8, 2, 128};
+    cfg.l2Tlb = TlbConfig{512, 16, 10, 2, 128};
+    cfg.dram.channels = 2;
+    cfg.dram.banksPerChannel = 8;
+    // DDR3-like latencies are longer in core cycles.
+    cfg.dram.tRcd = 28;
+    cfg.dram.tRp = 28;
+    cfg.dram.tCl = 28;
+    cfg.dram.tBurst = 8;
+    return cfg;
+}
+
+} // namespace mask

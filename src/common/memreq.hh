@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The in-flight memory request record and its pool.
+ *
+ * Every access that travels below the L1 structures (L1D misses and
+ * page table walk reads) is represented by one MemRequest owned by a
+ * RequestPool. Components pass ReqId handles; the pool guarantees
+ * stable storage and O(1) allocate/free.
+ */
+
+#ifndef MASK_COMMON_MEMREQ_HH
+#define MASK_COMMON_MEMREQ_HH
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace mask {
+
+/** One in-flight memory request below the private L1 structures. */
+struct MemRequest
+{
+    Addr paddr = 0;             //!< physical byte address
+    Asid asid = 0;
+    AppId app = 0;
+    CoreId core = 0;
+    WarpId warp = 0;
+    ReqType type = ReqType::Data;
+    ReqOrigin origin = ReqOrigin::WarpData;
+    /**
+     * Page walk depth tag (Section 5.3): 0 for data demand requests,
+     * 1..4 for the page table level a walk read targets (1 = root).
+     */
+    std::uint8_t pwLevel = 0;
+    /** Index of the owning walk when origin == PageWalk. */
+    std::uint32_t walkId = 0;
+    /** MASK L2 bypass decision, latched when dispatched toward L2. */
+    bool bypassL2 = false;
+    /** True when this request owns an L2 MSHR entry (primary miss). */
+    bool mshrPrimary = false;
+    /** True once the L2 probe counted toward hit/miss statistics, so
+     *  MSHR-full retries do not double-count. */
+    bool l2StatsCounted = false;
+    /** True while the request occupies a slot in some queue. */
+    bool live = false;
+
+    Cycle issueCycle = 0;       //!< creation time
+    Cycle dramEnqueueCycle = 0; //!< entry into a DRAM request buffer
+};
+
+/** Free-list pool of MemRequest records addressed by ReqId. */
+class RequestPool
+{
+  public:
+    ReqId
+    alloc()
+    {
+        ReqId id;
+        if (!free_.empty()) {
+            id = free_.back();
+            free_.pop_back();
+            reqs_[id] = MemRequest{};
+        } else {
+            id = static_cast<ReqId>(reqs_.size());
+            reqs_.emplace_back();
+        }
+        reqs_[id].live = true;
+        ++liveCount_;
+        return id;
+    }
+
+    void
+    release(ReqId id)
+    {
+        assert(id < reqs_.size() && reqs_[id].live);
+        reqs_[id].live = false;
+        free_.push_back(id);
+        --liveCount_;
+    }
+
+    MemRequest &operator[](ReqId id) { return reqs_[id]; }
+    const MemRequest &operator[](ReqId id) const { return reqs_[id]; }
+
+    std::size_t liveCount() const { return liveCount_; }
+    std::size_t capacity() const { return reqs_.size(); }
+
+  private:
+    std::vector<MemRequest> reqs_;
+    std::vector<ReqId> free_;
+    std::size_t liveCount_ = 0;
+};
+
+} // namespace mask
+
+#endif // MASK_COMMON_MEMREQ_HH

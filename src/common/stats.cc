@@ -1,0 +1,70 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace mask {
+
+double
+safeDiv(double num, double den)
+{
+    return den == 0.0 ? 0.0 : num / den;
+}
+
+std::string
+pct(double fraction, int decimals)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+    return buf;
+}
+
+Histogram::Histogram(std::uint64_t bucket_width, std::size_t num_buckets)
+    : width_(bucket_width == 0 ? 1 : bucket_width),
+      buckets_(std::max<std::size_t>(num_buckets, 1), 0)
+{
+}
+
+void
+Histogram::add(std::uint64_t value)
+{
+    std::size_t idx = static_cast<std::size_t>(value / width_);
+    if (idx >= buckets_.size())
+        idx = buckets_.size() - 1;
+    ++buckets_[idx];
+    ++total_;
+    sum_ += static_cast<double>(value);
+}
+
+double
+Histogram::mean() const
+{
+    return safeDiv(sum_, static_cast<double>(total_));
+}
+
+std::uint64_t
+Histogram::percentileUpperBound(double fraction) const
+{
+    if (total_ == 0)
+        return 0;
+    fraction = std::clamp(fraction, 0.0, 1.0);
+    const std::uint64_t target =
+        static_cast<std::uint64_t>(fraction * static_cast<double>(total_));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        seen += buckets_[i];
+        if (seen >= target)
+            return (i + 1) * width_;
+    }
+    return buckets_.size() * width_;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    total_ = 0;
+    sum_ = 0.0;
+}
+
+} // namespace mask

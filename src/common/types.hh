@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Fundamental scalar types and enums shared by every simulator module.
+ */
+
+#ifndef MASK_COMMON_TYPES_HH
+#define MASK_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace mask {
+
+/** Simulation time, measured in core clock cycles. */
+using Cycle = std::uint64_t;
+
+/** A byte address, virtual or physical depending on context. */
+using Addr = std::uint64_t;
+
+/** Virtual page number (virtual address >> page bits). */
+using Vpn = std::uint64_t;
+
+/** Physical frame number (physical address >> page bits). */
+using Pfn = std::uint64_t;
+
+/** Address space identifier; one per concurrently-running application. */
+using Asid = std::uint16_t;
+
+/** Index of an application within a multi-programmed workload. */
+using AppId = std::uint16_t;
+
+/** Identifier of a shader core (streaming multiprocessor). */
+using CoreId = std::uint16_t;
+
+/** Identifier of a warp within one shader core. */
+using WarpId = std::uint16_t;
+
+/** Handle into the global in-flight memory request pool. */
+using ReqId = std::uint32_t;
+
+constexpr ReqId kInvalidReq = std::numeric_limits<ReqId>::max();
+constexpr Pfn kInvalidPfn = std::numeric_limits<Pfn>::max();
+constexpr Cycle kNeverCycle = std::numeric_limits<Cycle>::max();
+
+/**
+ * Class of a memory request as seen by the shared memory hierarchy.
+ * The distinction drives every MASK mechanism: translation requests
+ * (page table walk reads) are treated differently from data demand
+ * requests at the L2 cache and at the DRAM scheduler.
+ */
+enum class ReqType : std::uint8_t {
+    Data,        //!< data demand request from a warp
+    Translation, //!< page table walk read
+};
+
+/**
+ * Where a completed memory response must be routed: back to the warp
+ * that issued a data access, or to the page table walker that issued a
+ * walk read.
+ */
+enum class ReqOrigin : std::uint8_t {
+    WarpData,
+    PageWalk,
+};
+
+/**
+ * Address translation organization of the baseline (Section 3 of the
+ * paper). MASK mechanisms are layered on top of SharedTlb.
+ */
+enum class TranslationDesign : std::uint8_t {
+    PwCache,   //!< private L1 TLBs + shared page walk cache (Fig. 2a)
+    SharedTlb, //!< private L1 TLBs + shared L2 TLB (Fig. 2b)
+    Ideal,     //!< every L1 TLB access hits; translation is free
+};
+
+} // namespace mask
+
+#endif // MASK_COMMON_TYPES_HH

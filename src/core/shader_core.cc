@@ -1,0 +1,155 @@
+#include "core/shader_core.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mask {
+
+ShaderCore::ShaderCore(CoreId id, const GpuConfig &cfg)
+    : id_(id),
+      cfg_(cfg),
+      l1Tlb_(cfg.l1Tlb),
+      l1d_(cfg.l1d.numSets(), cfg.l1d.ways),
+      l1Mshr_(cfg.l1d.mshrs),
+      rng_(cfg.seed)
+{
+    warps_.resize(cfg.warpsPerCore);
+}
+
+void
+ShaderCore::assign(AppId app, Asid asid, const BenchmarkParams *program,
+                   StreamTable *stream_table,
+                   std::uint32_t warp_index_base, std::uint64_t seed)
+{
+    assert(outstanding_ == 0 && "assigning a core that is not drained");
+    app_ = app;
+    asid_ = asid;
+    program_ = program;
+    streamTable_ = stream_table;
+    warpIndexBase_ = warp_index_base;
+    rng_.seed(seed ^ (0x9e37u + id_));
+    draining_ = false;
+
+    // Fresh kernel launch: new warps, cold private structures.
+    l1Tlb_.flushAll();
+    l1d_.flush();
+
+    readyQueue_.clear();
+    readyCount_ = 0;
+    greedyWarp_ = -1;
+    for (WarpId w = 0; w < warps_.size(); ++w) {
+        warps_[w].reset();
+        warps_[w].computeRemaining =
+            program_ ? nextComputeInterval(*program_, rng_) : 0;
+        readyQueue_.push_back(w);
+        ++readyCount_;
+    }
+}
+
+void
+ShaderCore::makeReady(WarpId w)
+{
+    warps_[w].state = WarpState::Ready;
+    readyQueue_.push_back(w);
+    ++readyCount_;
+}
+
+std::optional<IssuedAccess>
+ShaderCore::issue(Cycle now)
+{
+    if (program_ == nullptr || draining_) {
+        stallCycles_ += draining_ ? 1 : 0;
+        return std::nullopt;
+    }
+
+    // GTO: stick with the greedy warp while it can issue; otherwise
+    // take the oldest ready warp (FIFO order of stall completion).
+    WarpId selected;
+    if (greedyWarp_ >= 0 &&
+        warps_[greedyWarp_].state == WarpState::Ready) {
+        selected = static_cast<WarpId>(greedyWarp_);
+    } else {
+        // Drop stale queue entries of warps that went Waiting.
+        while (!readyQueue_.empty() &&
+               warps_[readyQueue_.front()].state != WarpState::Ready) {
+            readyQueue_.pop_front();
+        }
+        if (readyQueue_.empty()) {
+            ++stallCycles_;
+            return std::nullopt;
+        }
+        selected = readyQueue_.front();
+        readyQueue_.pop_front();
+        greedyWarp_ = selected;
+    }
+
+    Warp &w = warps_[selected];
+    ++w.instructions;
+    ++instructions_;
+
+    if (w.computeRemaining > 0) {
+        --w.computeRemaining;
+        // Greedy warp stays selected; ensure it is findable next
+        // cycle without a queue entry.
+        return std::nullopt;
+    }
+
+    // Memory instruction: generate the (possibly divergent) accesses
+    // and block the warp until all of them complete. Accesses that
+    // reuse the warp's previous line are serviced locally and create
+    // no memory traffic.
+    IssuedAccess issued;
+    issued.warp = selected;
+    issued.count = 0;
+    const std::uint32_t parts = std::min<std::uint32_t>(
+        std::max<std::uint32_t>(1, program_->memDivergence),
+        IssuedAccess::kMaxParts);
+    for (std::uint32_t i = 0; i < parts; ++i) {
+        bool reused = false;
+        const Addr vaddr = nextVaddr(
+            *program_, w.mem, rng_, warpIndexBase_ + selected,
+            *streamTable_, cfg_.pageBits, cfg_.lineBits, &reused);
+        if (!reused)
+            issued.vaddrs[issued.count++] = vaddr;
+    }
+    ++w.memAccesses;
+
+    if (issued.count == 0) {
+        // Entirely warp-local: the instruction completes immediately.
+        w.computeRemaining = nextComputeInterval(*program_, rng_);
+        return std::nullopt;
+    }
+
+    w.state = WarpState::Waiting;
+    w.stallStart = now;
+    w.partsOutstanding = issued.count;
+    --readyCount_;
+    greedyWarp_ = -1;
+    return issued;
+}
+
+void
+ShaderCore::accessDone(WarpId warp_id, Cycle now)
+{
+    Warp &w = warps_[warp_id];
+    assert(w.state == WarpState::Waiting);
+    assert(w.partsOutstanding > 0);
+    assert(outstanding_ > 0);
+    --outstanding_;
+    if (--w.partsOutstanding > 0)
+        return;
+    stallCycles_ += now - w.stallStart;
+    w.computeRemaining = nextComputeInterval(*program_, rng_);
+    makeReady(warp_id);
+}
+
+void
+ShaderCore::resetStats()
+{
+    instructions_ = 0;
+    stallCycles_ = 0;
+    l1Tlb_.resetStats();
+    l1dStats_.reset();
+}
+
+} // namespace mask

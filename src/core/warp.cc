@@ -1,0 +1,2 @@
+// Warp is a plain aggregate; this file anchors the translation unit.
+#include "core/warp.hh"

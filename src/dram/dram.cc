@@ -1,0 +1,385 @@
+#include "dram/dram.hh"
+
+#include <cassert>
+
+namespace mask {
+
+namespace {
+
+std::uint32_t
+log2u(std::uint32_t x)
+{
+    std::uint32_t bits = 0;
+    while ((1u << bits) < x)
+        ++bits;
+    return bits;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// AddressMapper
+// ---------------------------------------------------------------------
+
+AddressMapper::AddressMapper(const DramConfig &cfg,
+                             std::uint32_t line_bits,
+                             bool partition_channels,
+                             std::uint32_t num_apps)
+    : lineBits_(line_bits),
+      channels_(cfg.channels),
+      channelBits_(log2u(cfg.channels)),
+      banks_(cfg.banksPerChannel),
+      bankBits_(log2u(cfg.banksPerChannel)),
+      rowBits_(log2u(std::max<std::uint32_t>(1, cfg.rowBytes))),
+      partition_(partition_channels),
+      numApps_(num_apps == 0 ? 1 : num_apps)
+{
+}
+
+DramCoord
+AddressMapper::map(Addr paddr, AppId app) const
+{
+    // Row-granular interleaving (row : bank : channel : row offset):
+    // each DRAM row holds rowBytes of contiguous physical addresses,
+    // so streaming accesses produce the high row-buffer locality the
+    // paper observes for GPGPU data (Section 4.3), while consecutive
+    // rows rotate across channels and then banks for parallelism.
+    const std::uint64_t row_global = paddr >> rowBits_;
+    DramCoord coord;
+
+    std::uint64_t rest;
+    if (partition_ && numApps_ > 1 && channels_ >= numApps_) {
+        // Static baseline: application app owns a contiguous slice of
+        // channels; its rows interleave across that slice only.
+        const std::uint32_t per_app = channels_ / numApps_;
+        const std::uint32_t base = (app % numApps_) * per_app;
+        coord.channel =
+            base + static_cast<std::uint32_t>(row_global % per_app);
+        rest = row_global / per_app;
+    } else if ((channels_ & (channels_ - 1)) == 0) {
+        coord.channel =
+            static_cast<std::uint32_t>(row_global) & (channels_ - 1);
+        rest = row_global >> channelBits_;
+    } else {
+        // Non-power-of-two channel counts interleave by modulo.
+        coord.channel =
+            static_cast<std::uint32_t>(row_global % channels_);
+        rest = row_global / channels_;
+    }
+
+    if ((banks_ & (banks_ - 1)) == 0) {
+        coord.bank = static_cast<std::uint32_t>(rest) & (banks_ - 1);
+        coord.row = rest >> bankBits_;
+    } else {
+        coord.bank = static_cast<std::uint32_t>(rest % banks_);
+        coord.row = rest / banks_;
+    }
+    return coord;
+}
+
+// ---------------------------------------------------------------------
+// DramChannel
+// ---------------------------------------------------------------------
+
+DramChannel::DramChannel(const DramConfig &cfg,
+                         const MaskConfig &mask_cfg, DramSchedMode mode,
+                         std::uint32_t num_apps)
+    : cfg_(cfg),
+      maskCfg_(mask_cfg),
+      mode_(mode),
+      numApps_(num_apps == 0 ? 1 : num_apps),
+      banks_(cfg.banksPerChannel)
+{
+    silverCredits_ = maskCfg_.threshMax / numApps_;
+}
+
+bool
+DramChannel::canEnqueue(const MemRequest &req) const
+{
+    if (mode_ == DramSchedMode::FrFcfs)
+        return normal_.size() < cfg_.queueEntries;
+
+    if (req.type == ReqType::Translation)
+        return golden_.size() < maskCfg_.goldenQueueEntries;
+
+    // A data request goes to silver when it is the silver app's turn,
+    // credits remain, and the silver queue has room; otherwise it
+    // falls back to the normal queue.
+    if (req.app == silverApp_ && silverCredits_ > 0 &&
+        silver_.size() < maskCfg_.silverQueueEntries) {
+        return true;
+    }
+    return normal_.size() < maskCfg_.normalQueueEntries;
+}
+
+std::vector<DramQueueEntry> &
+DramChannel::routeData(AppId app)
+{
+    if (mode_ == DramSchedMode::MaskQueues && app == silverApp_ &&
+        silverCredits_ > 0 &&
+        silver_.size() < maskCfg_.silverQueueEntries) {
+        --silverCredits_;
+        return silver_;
+    }
+    return normal_;
+}
+
+void
+DramChannel::enqueue(ReqId id, MemRequest &req, const DramCoord &coord,
+                     Cycle now)
+{
+    assert(canEnqueue(req));
+
+    DramQueueEntry entry;
+    entry.id = id;
+    entry.bank = coord.bank;
+    entry.row = coord.row;
+    entry.app = req.app;
+    entry.type = req.type;
+    entry.enqueueCycle = now;
+    req.dramEnqueueCycle = now;
+
+    if (mode_ == DramSchedMode::MaskQueues &&
+        req.type == ReqType::Translation) {
+        golden_.push_back(entry);
+    } else {
+        routeData(req.app).push_back(entry);
+    }
+}
+
+void
+DramChannel::rotateSilverTurn()
+{
+    silverApp_ = static_cast<AppId>((silverApp_ + 1) % numApps_);
+    if (quotaProvider_ != nullptr) {
+        silverCredits_ = quotaProvider_->silverQuota(silverApp_);
+    } else {
+        silverCredits_ = maskCfg_.threshMax / numApps_;
+    }
+    if (silverCredits_ == 0)
+        silverCredits_ = 1;
+}
+
+bool
+DramChannel::hasPendingRowHit(std::uint32_t bank_idx) const
+{
+    const DramBank &bank = banks_[bank_idx];
+    if (!bank.rowValid)
+        return false;
+    for (const auto &entry : silver_) {
+        if (entry.bank == bank_idx && entry.row == bank.openRow)
+            return true;
+    }
+    for (const auto &entry : normal_) {
+        if (entry.bank == bank_idx && entry.row == bank.openRow)
+            return true;
+    }
+    return false;
+}
+
+void
+DramChannel::onEpoch()
+{
+    if (mode_ == DramSchedMode::MaskQueues)
+        rotateSilverTurn();
+}
+
+void
+DramChannel::service(std::vector<DramQueueEntry> &queue,
+                     std::size_t idx, Cycle now, RequestPool &pool)
+{
+    const DramQueueEntry entry = queue[idx];
+    queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(idx));
+
+    DramBank &bank = banks_[entry.bank];
+    std::uint32_t latency;
+    std::uint32_t bank_busy;
+    if (bank.rowValid && bank.openRow == entry.row) {
+        // Row hit: reads to the open row pipeline at the burst rate.
+        latency = cfg_.tCl;
+        bank_busy = cfg_.tBurst;
+        ++stats_.rowHits;
+    } else if (!bank.rowValid) {
+        latency = cfg_.tRcd + cfg_.tCl;
+        bank_busy = cfg_.tRcd + cfg_.tBurst;
+        ++stats_.rowMisses;
+    } else {
+        latency = cfg_.tRp + cfg_.tRcd + cfg_.tCl;
+        bank_busy = cfg_.tRp + cfg_.tRcd + cfg_.tBurst;
+        ++stats_.rowConflicts;
+    }
+
+    const Cycle done = now + latency + cfg_.tBurst;
+    bank.openRow = entry.row;
+    bank.rowValid = true;
+    bank.readyAt = now + bank_busy;
+    busFreeAt_ = now + cfg_.tBurst;
+
+    const auto type_idx = static_cast<std::size_t>(entry.type);
+    stats_.busBusy[type_idx] += cfg_.tBurst;
+    ++stats_.serviced[type_idx];
+    stats_.latency[type_idx].add(
+        static_cast<double>(done - entry.enqueueCycle));
+    (void)pool;
+
+    inService_.push(Completion{done, entry.id});
+}
+
+void
+DramChannel::tick(Cycle now, RequestPool &pool)
+{
+    // Retire finished requests.
+    while (!inService_.empty() && inService_.top().at <= now) {
+        completed_.push_back(inService_.top().id);
+        inService_.pop();
+    }
+
+    if (busFreeAt_ > now)
+        return;
+
+    // Strict priority: Golden (FIFO) > Silver > Normal (both FR-FCFS).
+    if (!golden_.empty()) {
+        // FIFO among serviceable golden requests: the paper notes that
+        // row-buffer reordering does not help translation requests.
+        for (std::size_t i = 0; i < golden_.size(); ++i) {
+            DramQueueEntry &entry = golden_[i];
+            const DramBank &bank = banks_[entry.bank];
+            if (bank.readyAt > now)
+                continue;
+            // Bandwidth guard (Section 4.4): don't close a row that
+            // still has data row-hits pending unless this request has
+            // already been delayed long enough.
+            const bool row_conflict =
+                bank.rowValid && bank.openRow != entry.row;
+            if (row_conflict &&
+                now < entry.enqueueCycle + maskCfg_.goldenMaxDelay &&
+                hasPendingRowHit(entry.bank)) {
+                continue;
+            }
+            service(golden_, i, now, pool);
+            return;
+        }
+    }
+
+    if (mode_ == DramSchedMode::MaskQueues) {
+        // Advance the silver turn when the current app used its quota
+        // and its queued silver requests drained.
+        if (silverCredits_ == 0 && silver_.empty())
+            rotateSilverTurn();
+
+        const int pick = frFcfsPick(silver_, banks_, now,
+                                    cfg_.starvationCap);
+        if (pick >= 0) {
+            // Bandwidth guard: a silver row-conflict defers briefly
+            // to pending data row hits (same rationale as golden).
+            DramQueueEntry &entry =
+                silver_[static_cast<std::size_t>(pick)];
+            const DramBank &bank = banks_[entry.bank];
+            const bool row_conflict =
+                bank.rowValid && bank.openRow != entry.row;
+            if (!row_conflict ||
+                now >= entry.enqueueCycle + maskCfg_.silverMaxDelay ||
+                !hasPendingRowHit(entry.bank)) {
+                service(silver_, static_cast<std::size_t>(pick), now,
+                        pool);
+                return;
+            }
+        }
+    }
+
+    const int pick =
+        frFcfsPick(normal_, banks_, now, cfg_.starvationCap);
+    if (pick >= 0)
+        service(normal_, static_cast<std::size_t>(pick), now, pool);
+}
+
+// ---------------------------------------------------------------------
+// Dram
+// ---------------------------------------------------------------------
+
+Dram::Dram(const DramConfig &cfg, const MaskConfig &mask_cfg,
+           std::uint32_t line_bits, DramSchedMode mode,
+           std::uint32_t num_apps, bool partition_channels)
+    : mapper_(cfg, line_bits, partition_channels, num_apps)
+{
+    channels_.reserve(cfg.channels);
+    for (std::uint32_t c = 0; c < cfg.channels; ++c)
+        channels_.emplace_back(cfg, mask_cfg, mode, num_apps);
+}
+
+void
+Dram::setQuotaProvider(const SilverQuotaProvider *provider)
+{
+    for (auto &channel : channels_)
+        channel.setQuotaProvider(provider);
+}
+
+bool
+Dram::canEnqueue(const MemRequest &req) const
+{
+    const DramCoord coord = mapper_.map(req.paddr, req.app);
+    return channels_[coord.channel].canEnqueue(req);
+}
+
+void
+Dram::enqueue(ReqId id, MemRequest &req, Cycle now)
+{
+    const DramCoord coord = mapper_.map(req.paddr, req.app);
+    channels_[coord.channel].enqueue(id, req, coord, now);
+}
+
+void
+Dram::tick(Cycle now, RequestPool &pool)
+{
+    for (auto &channel : channels_) {
+        channel.tick(now, pool);
+        auto &done = channel.completed();
+        while (!done.empty()) {
+            completed_.push_back(done.front());
+            done.pop_front();
+        }
+    }
+}
+
+void
+Dram::noteReject(const MemRequest &req)
+{
+    const DramCoord coord = mapper_.map(req.paddr, req.app);
+    channels_[coord.channel].noteReject();
+}
+
+void
+Dram::onEpoch()
+{
+    for (auto &channel : channels_)
+        channel.onEpoch();
+}
+
+DramChannelStats
+Dram::aggregateStats() const
+{
+    DramChannelStats agg;
+    for (const auto &channel : channels_) {
+        const DramChannelStats &s = channel.stats();
+        for (int t = 0; t < 2; ++t) {
+            agg.busBusy[t] += s.busBusy[t];
+            agg.serviced[t] += s.serviced[t];
+            agg.latency[t].count += s.latency[t].count;
+            agg.latency[t].sum += s.latency[t].sum;
+        }
+        agg.rowHits += s.rowHits;
+        agg.rowMisses += s.rowMisses;
+        agg.rowConflicts += s.rowConflicts;
+        agg.enqueueRejects += s.enqueueRejects;
+    }
+    return agg;
+}
+
+void
+Dram::resetStats()
+{
+    for (auto &channel : channels_)
+        channel.resetStats();
+}
+
+} // namespace mask

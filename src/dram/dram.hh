@@ -1,0 +1,255 @@
+/**
+ * @file
+ * GDDR5-like DRAM model: per-channel request buffers, per-bank row
+ * buffer state and timing, an FR-FCFS scheduler, and the three-queue
+ * (Golden/Silver/Normal) organization used by MASK's Address-Space-
+ * Aware DRAM Scheduler (paper Section 5.4).
+ */
+
+#ifndef MASK_DRAM_DRAM_HH
+#define MASK_DRAM_DRAM_HH
+
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/memreq.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace mask {
+
+/** Decoded DRAM coordinates of a physical address. */
+struct DramCoord
+{
+    std::uint32_t channel = 0;
+    std::uint32_t bank = 0;
+    std::uint64_t row = 0;
+};
+
+/**
+ * Physical address -> (channel, bank, row) mapping with line-granular
+ * channel interleaving. When the Static baseline partitions channels,
+ * each application's traffic is folded onto its private channel slice.
+ */
+class AddressMapper
+{
+  public:
+    AddressMapper(const DramConfig &cfg, std::uint32_t line_bits,
+                  bool partition_channels = false,
+                  std::uint32_t num_apps = 1);
+
+    DramCoord map(Addr paddr, AppId app) const;
+
+    std::uint32_t channels() const { return channels_; }
+
+  private:
+    std::uint32_t lineBits_;
+    std::uint32_t channels_;
+    std::uint32_t channelBits_;
+    std::uint32_t banks_;
+    std::uint32_t bankBits_;
+    std::uint32_t rowBits_;
+    bool partition_;
+    std::uint32_t numApps_;
+};
+
+/**
+ * Quota source for the Silver Queue (Equation 1). Implemented by the
+ * MASK layer; the DRAM channel calls it when rotating the silver turn
+ * to a new application.
+ */
+class SilverQuotaProvider
+{
+  public:
+    virtual ~SilverQuotaProvider() = default;
+
+    /** thresh_i: silver-queue request quota for application @p app. */
+    virtual std::uint32_t silverQuota(AppId app) const = 0;
+};
+
+/** Which scheduling organization a channel runs. */
+enum class DramSchedMode : std::uint8_t {
+    FrFcfs,     //!< single request buffer, FR-FCFS (baselines)
+    MaskQueues, //!< Golden/Silver/Normal queues (MASK, Section 5.4)
+};
+
+/** Row-buffer and busy state of one DRAM bank. */
+struct DramBank
+{
+    std::uint64_t openRow = 0;
+    bool rowValid = false;
+    Cycle readyAt = 0;
+};
+
+/** An entry in a channel request buffer. */
+struct DramQueueEntry
+{
+    ReqId id = kInvalidReq;
+    std::uint32_t bank = 0;
+    std::uint64_t row = 0;
+    AppId app = 0;
+    ReqType type = ReqType::Data;
+    Cycle enqueueCycle = 0;
+    std::uint32_t bypassed = 0; //!< times skipped by younger row hits
+};
+
+/** Statistics kept per channel, split by request type where relevant. */
+struct DramChannelStats
+{
+    std::uint64_t busBusy[2] = {0, 0};   //!< indexed by ReqType
+    std::uint64_t serviced[2] = {0, 0};
+    RunningStat latency[2];              //!< enqueue -> data returned
+    std::uint64_t rowHits = 0;
+    std::uint64_t rowMisses = 0;   //!< closed-row activates
+    std::uint64_t rowConflicts = 0;
+    std::uint64_t enqueueRejects = 0;
+
+    void
+    reset()
+    {
+        *this = DramChannelStats{};
+    }
+};
+
+/** One DRAM channel: banks + request buffers + scheduler. */
+class DramChannel
+{
+  public:
+    DramChannel(const DramConfig &cfg, const MaskConfig &mask_cfg,
+                DramSchedMode mode, std::uint32_t num_apps);
+
+    /** Attach the Equation 1 quota source (MaskQueues mode only). */
+    void setQuotaProvider(const SilverQuotaProvider *provider)
+    {
+        quotaProvider_ = provider;
+    }
+
+    /** True if the appropriate queue can take this request. */
+    bool canEnqueue(const MemRequest &req) const;
+
+    /** Insert a request (caller checked canEnqueue). */
+    void enqueue(ReqId id, MemRequest &req, const DramCoord &coord,
+                 Cycle now);
+
+    /** Advance one cycle: schedule and retire. */
+    void tick(Cycle now, RequestPool &pool);
+
+    /**
+     * Epoch boundary (Section 5.2/5.4): force the silver turn to
+     * rotate so an idle quota holder cannot pin the Silver Queue.
+     */
+    void onEpoch();
+
+    /** Requests whose data has returned; caller drains. */
+    std::deque<ReqId> &completed() { return completed_; }
+
+    const DramChannelStats &stats() const { return stats_; }
+    void resetStats() { stats_.reset(); }
+    void noteReject() { ++stats_.enqueueRejects; }
+
+    std::size_t queuedRequests() const
+    {
+        return golden_.size() + silver_.size() + normal_.size();
+    }
+
+    /** Queue introspection for tests. */
+    std::size_t goldenSize() const { return golden_.size(); }
+    std::size_t silverSize() const { return silver_.size(); }
+    std::size_t normalSize() const { return normal_.size(); }
+    AppId silverApp() const { return silverApp_; }
+
+  private:
+    struct Completion
+    {
+        Cycle at;
+        ReqId id;
+        bool operator>(const Completion &o) const { return at > o.at; }
+    };
+
+    /** Route a data request to silver or normal per Section 5.4. */
+    std::vector<DramQueueEntry> &routeData(AppId app);
+
+    /** Any queued data request that hits @p bank_idx's open row? */
+    bool hasPendingRowHit(std::uint32_t bank_idx) const;
+
+    void service(std::vector<DramQueueEntry> &queue, std::size_t idx,
+                 Cycle now, RequestPool &pool);
+    void rotateSilverTurn();
+
+    DramConfig cfg_;
+    MaskConfig maskCfg_;
+    DramSchedMode mode_;
+    std::uint32_t numApps_;
+
+    std::vector<DramBank> banks_;
+    std::vector<DramQueueEntry> golden_; //!< FIFO, translation only
+    std::vector<DramQueueEntry> silver_;
+    std::vector<DramQueueEntry> normal_;
+
+    const SilverQuotaProvider *quotaProvider_ = nullptr;
+    AppId silverApp_ = 0;
+    std::uint32_t silverCredits_ = 0;
+
+    Cycle busFreeAt_ = 0;
+    std::priority_queue<Completion, std::vector<Completion>,
+                        std::greater<>>
+        inService_;
+    std::deque<ReqId> completed_;
+    DramChannelStats stats_;
+};
+
+/** The full DRAM subsystem: mapper + channels. */
+class Dram
+{
+  public:
+    Dram(const DramConfig &cfg, const MaskConfig &mask_cfg,
+         std::uint32_t line_bits, DramSchedMode mode,
+         std::uint32_t num_apps, bool partition_channels);
+
+    void setQuotaProvider(const SilverQuotaProvider *provider);
+
+    bool canEnqueue(const MemRequest &req) const;
+    void enqueue(ReqId id, MemRequest &req, Cycle now);
+    void tick(Cycle now, RequestPool &pool);
+    void onEpoch();
+
+    /** Record that @p req found its channel queue full (stats). */
+    void noteReject(const MemRequest &req);
+
+    /** Completed requests across all channels; caller drains. */
+    std::deque<ReqId> &completed() { return completed_; }
+
+    std::uint32_t numChannels() const
+    {
+        return static_cast<std::uint32_t>(channels_.size());
+    }
+    DramChannel &channel(std::uint32_t idx) { return channels_[idx]; }
+    const AddressMapper &mapper() const { return mapper_; }
+
+    /** Aggregate stats over all channels. */
+    DramChannelStats aggregateStats() const;
+    void resetStats();
+
+  private:
+    AddressMapper mapper_;
+    std::vector<DramChannel> channels_;
+    std::deque<ReqId> completed_;
+};
+
+/**
+ * FR-FCFS pick: index of the entry to service from @p queue, or -1 if
+ * none is serviceable (bank ready) this cycle. Prefers the oldest
+ * row-buffer hit, falling back to the oldest serviceable request, and
+ * forces the queue head once it has been bypassed more than
+ * @p starvation_cap times (Section 6 baseline policy).
+ */
+int frFcfsPick(std::vector<DramQueueEntry> &queue,
+               const std::vector<DramBank> &banks, Cycle now,
+               std::uint32_t starvation_cap);
+
+} // namespace mask
+
+#endif // MASK_DRAM_DRAM_HH

@@ -1,0 +1,3 @@
+// TlbBypassCache is header-only; this file anchors the translation
+// unit for the build system.
+#include "mask/bypass_cache.hh"

@@ -1,0 +1,41 @@
+#include "mask/l2_bypass.hh"
+
+namespace mask {
+
+bool
+L2BypassPolicy::shouldBypass(std::uint8_t pw_level)
+{
+    if (pw_level == 0 || pw_level > kMaxLevel)
+        return false;
+
+    const HitMiss &level = stats_[pw_level];
+    if (level.accesses() < cfg_.minBypassSamples)
+        return false;
+
+    if (level.hitRate() >= stats_[0].hitRate())
+        return false;
+
+    // The level would bypass; let every Nth request through as a
+    // sampler so the hit-rate estimate stays live.
+    std::uint32_t &countdown = probeCountdown_[pw_level];
+    if (countdown == 0) {
+        countdown = cfg_.sampleProbeInterval;
+        return false;
+    }
+    --countdown;
+    ++bypasses_;
+    return true;
+}
+
+void
+L2BypassPolicy::onEpoch()
+{
+    // Halve all counters: exponential decay with a one-epoch half
+    // life, so the comparison tracks recent behaviour.
+    for (auto &hm : stats_) {
+        hm.hits /= 2;
+        hm.misses /= 2;
+    }
+}
+
+} // namespace mask

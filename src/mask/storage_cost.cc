@@ -1,0 +1,135 @@
+#include "mask/storage_cost.hh"
+
+#include <cstdio>
+
+#include "common/stats.hh"
+
+namespace mask {
+
+namespace {
+
+/** Bits of one TLB entry: VPN tag + PFN + valid (no ASID). */
+constexpr std::uint64_t kTlbEntryBits = 36 + 24 + 1;
+
+/** Bits of one DRAM request-buffer entry (address + metadata). */
+constexpr std::uint64_t kDramQueueEntryBits = 64 + 16;
+
+} // namespace
+
+StorageCost
+computeStorageCost(const GpuConfig &cfg)
+{
+    StorageCost cost;
+
+    // Section 5.1: 9-bit ASID per shared L2 TLB entry.
+    cost.asidBitsPerL2TlbEntry = 9;
+    cost.asidTotalBits =
+        cost.asidBitsPerL2TlbEntry * cfg.l2Tlb.entries;
+
+    // Section 7.4, TLB-Fill Tokens, per core: two 16-bit hit/miss
+    // counters, a 256-bit active-warp vector, one 8-bit unique-warp
+    // incrementer.
+    cost.tokenPerCoreBits = 2 * 16 + 256 + 8;
+
+    // Shared: 30 15-bit token counters + 30 1-bit direction registers
+    // (for up to 30 concurrent applications) next to the L2 TLB.
+    cost.tokenSharedBits = 30 * 15 + 30 * 1;
+
+    // 32-entry fully-associative CAM: tag (ASID + VPN) + PTE payload.
+    cost.bypassCacheBits =
+        cfg.mask.bypassCacheEntries * (9 + 36 + 24 + 1);
+
+    // Section 7.4, L2 bypass: ten 8-byte counters per core (hits and
+    // accesses for data + 4 walk levels).
+    cost.l2BypassCounterBits = cfg.numCores * 10ull * 64;
+
+    // Section 7.4, DRAM scheduler: Golden 16 + Silver 64 + Normal 192
+    // entries vs. a conventional 256-entry request buffer.
+    const std::uint64_t mask_entries = cfg.mask.goldenQueueEntries +
+                                       cfg.mask.silverQueueEntries +
+                                       cfg.mask.normalQueueEntries;
+    cost.dramQueueBitsPerChannel = mask_entries * kDramQueueEntryBits;
+    cost.dramBaselineQueueBitsPerChannel =
+        256ull * kDramQueueEntryBits;
+
+    return cost;
+}
+
+std::uint64_t
+StorageCost::totalBits() const
+{
+    return asidTotalBits + tokenPerCoreBits + tokenSharedBits +
+           bypassCacheBits + l2BypassCounterBits;
+}
+
+double
+StorageCost::l1TlbOverheadFraction(const GpuConfig &cfg) const
+{
+    const double l1_bits =
+        static_cast<double>(cfg.l1Tlb.entries) * kTlbEntryBits;
+    return safeDiv(static_cast<double>(tokenPerCoreBits), l1_bits);
+}
+
+double
+StorageCost::l2TlbOverheadFraction(const GpuConfig &cfg) const
+{
+    const double l2_bits =
+        static_cast<double>(cfg.l2Tlb.entries) * kTlbEntryBits;
+    return safeDiv(
+        static_cast<double>(tokenSharedBits + bypassCacheBits), l2_bits);
+}
+
+double
+StorageCost::l2CacheOverheadFraction(const GpuConfig &cfg) const
+{
+    return safeDiv(static_cast<double>(l2BypassCounterBits),
+                   static_cast<double>(cfg.l2.sizeBytes) * 8.0);
+}
+
+double
+StorageCost::dramQueueOverheadFraction() const
+{
+    return safeDiv(static_cast<double>(dramQueueBitsPerChannel) -
+                       static_cast<double>(
+                           dramBaselineQueueBitsPerChannel),
+                   static_cast<double>(dramBaselineQueueBitsPerChannel));
+}
+
+std::string
+StorageCost::report(const GpuConfig &cfg) const
+{
+    char buf[2048];
+    std::snprintf(
+        buf, sizeof(buf),
+        "MASK storage cost (config: %s, %u cores)\n"
+        "  ASID tags:            %u bits/L2-TLB entry, %llu bytes "
+        "total (%s of L2 TLB)\n"
+        "  Tokens, per core:     %llu bits (%s of L1 TLB)\n"
+        "  Tokens+bypass shared: %llu bytes (%s of L2 TLB)\n"
+        "  L2 bypass counters:   %llu bytes (%s of L2 cache)\n"
+        "  PW-level request tag: %llu bits per in-flight request\n"
+        "  DRAM queues/channel:  %llu vs %llu baseline bytes (%s)\n"
+        "  Total added SRAM:     %llu bytes\n",
+        cfg.name.c_str(), cfg.numCores,
+        static_cast<unsigned>(asidBitsPerL2TlbEntry),
+        static_cast<unsigned long long>(asidTotalBits / 8),
+        pct(safeDiv(static_cast<double>(asidTotalBits),
+                    static_cast<double>(cfg.l2Tlb.entries) * 61.0))
+            .c_str(),
+        static_cast<unsigned long long>(tokenPerCoreBits),
+        pct(l1TlbOverheadFraction(cfg)).c_str(),
+        static_cast<unsigned long long>(
+            (tokenSharedBits + bypassCacheBits) / 8),
+        pct(l2TlbOverheadFraction(cfg)).c_str(),
+        static_cast<unsigned long long>(l2BypassCounterBits / 8),
+        pct(l2CacheOverheadFraction(cfg)).c_str(),
+        static_cast<unsigned long long>(pwLevelTagBitsPerRequest),
+        static_cast<unsigned long long>(dramQueueBitsPerChannel / 8),
+        static_cast<unsigned long long>(
+            dramBaselineQueueBitsPerChannel / 8),
+        pct(dramQueueOverheadFraction()).c_str(),
+        static_cast<unsigned long long>(totalBits() / 8));
+    return buf;
+}
+
+} // namespace mask

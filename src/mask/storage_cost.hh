@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Analytic storage-cost accounting for MASK's hardware additions
+ * (paper Section 7.4). Pure arithmetic over a GpuConfig; the
+ * sec74_storage_cost bench prints the resulting table.
+ */
+
+#ifndef MASK_MASK_STORAGE_COST_HH
+#define MASK_MASK_STORAGE_COST_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/config.hh"
+
+namespace mask {
+
+/** Itemized storage added by each MASK mechanism, in bits. */
+struct StorageCost
+{
+    // Memory protection (Section 5.1 / 7.4).
+    std::uint64_t asidBitsPerL2TlbEntry = 0;
+    std::uint64_t asidTotalBits = 0;
+
+    // TLB-Fill Tokens (Section 5.2 / 7.4).
+    std::uint64_t tokenPerCoreBits = 0;  //!< counters + warp bit-vector
+    std::uint64_t tokenSharedBits = 0;   //!< token/direction registers
+    std::uint64_t bypassCacheBits = 0;   //!< 32-entry CAM
+
+    // Address-Translation-Aware L2 Bypass (Section 5.3 / 7.4).
+    std::uint64_t l2BypassCounterBits = 0;
+    std::uint64_t pwLevelTagBitsPerRequest = 3;
+
+    // Address-Space-Aware DRAM Scheduler (Section 5.4 / 7.4).
+    std::uint64_t dramQueueBitsPerChannel = 0;
+    std::uint64_t dramBaselineQueueBitsPerChannel = 0;
+
+    std::uint64_t totalBits() const;
+    double l1TlbOverheadFraction(const GpuConfig &cfg) const;
+    double l2TlbOverheadFraction(const GpuConfig &cfg) const;
+    double l2CacheOverheadFraction(const GpuConfig &cfg) const;
+    double dramQueueOverheadFraction() const;
+
+    /** Multi-line human-readable table (the Section 7.4 numbers). */
+    std::string report(const GpuConfig &cfg) const;
+};
+
+/** Compute the itemized cost for one configuration. */
+StorageCost computeStorageCost(const GpuConfig &cfg);
+
+} // namespace mask
+
+#endif // MASK_MASK_STORAGE_COST_HH

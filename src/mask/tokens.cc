@@ -1,0 +1,57 @@
+#include "mask/tokens.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mask {
+
+TokenManager::TokenManager(const MaskConfig &cfg, std::uint32_t num_apps,
+                           std::uint32_t warps_per_app)
+    : cfg_(cfg), warpsPerApp_(warps_per_app)
+{
+    step_ = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(
+               std::ceil(cfg.tokenStepFraction * warps_per_app)));
+    const auto initial = static_cast<std::uint32_t>(
+        cfg.initialTokenFraction * warps_per_app);
+    tokens_.assign(num_apps, std::max<std::uint32_t>(1, initial));
+    prevMissRate_.assign(num_apps, 0.0);
+    havePrev_.assign(num_apps, false);
+    lastDir_.assign(num_apps, 0);
+}
+
+bool
+TokenManager::mayFill(AppId app, std::uint32_t warp_index) const
+{
+    // No bypassing during the first epoch: every warp fills.
+    if (epochsDone_ == 0)
+        return true;
+    return warp_index < tokens_[app];
+}
+
+void
+TokenManager::onEpoch(AppId app, double l2_tlb_miss_rate)
+{
+    if (!havePrev_[app]) {
+        prevMissRate_[app] = l2_tlb_miss_rate;
+        havePrev_[app] = true;
+        lastDir_[app] = 0;
+        return;
+    }
+
+    const double delta = l2_tlb_miss_rate - prevMissRate_[app];
+    if (delta > cfg_.missRateDelta) {
+        // Contention rose: shrink this application's fill privileges.
+        tokens_[app] =
+            tokens_[app] > step_ ? tokens_[app] - step_ : 1;
+        lastDir_[app] = -1;
+    } else if (delta < -cfg_.missRateDelta) {
+        tokens_[app] = std::min(warpsPerApp_, tokens_[app] + step_);
+        lastDir_[app] = +1;
+    } else {
+        lastDir_[app] = 0;
+    }
+    prevMissRate_[app] = l2_tlb_miss_rate;
+}
+
+} // namespace mask

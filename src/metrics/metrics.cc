@@ -1,0 +1,52 @@
+#include "metrics/metrics.hh"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/stats.hh"
+
+namespace mask {
+
+double
+weightedSpeedup(const std::vector<double> &shared_ipc,
+                const std::vector<double> &alone_ipc)
+{
+    assert(shared_ipc.size() == alone_ipc.size());
+    double sum = 0.0;
+    for (std::size_t i = 0; i < shared_ipc.size(); ++i)
+        sum += safeDiv(shared_ipc[i], alone_ipc[i]);
+    return sum;
+}
+
+double
+ipcThroughput(const std::vector<double> &shared_ipc)
+{
+    double sum = 0.0;
+    for (double ipc : shared_ipc)
+        sum += ipc;
+    return sum;
+}
+
+double
+maxSlowdown(const std::vector<double> &shared_ipc,
+            const std::vector<double> &alone_ipc)
+{
+    assert(shared_ipc.size() == alone_ipc.size());
+    double worst = 0.0;
+    for (std::size_t i = 0; i < shared_ipc.size(); ++i)
+        worst = std::max(worst, safeDiv(alone_ipc[i], shared_ipc[i]));
+    return worst;
+}
+
+double
+harmonicSpeedup(const std::vector<double> &shared_ipc,
+                const std::vector<double> &alone_ipc)
+{
+    assert(shared_ipc.size() == alone_ipc.size());
+    double denom = 0.0;
+    for (std::size_t i = 0; i < shared_ipc.size(); ++i)
+        denom += safeDiv(alone_ipc[i], shared_ipc[i]);
+    return safeDiv(static_cast<double>(shared_ipc.size()), denom);
+}
+
+} // namespace mask

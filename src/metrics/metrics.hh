@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Multi-programmed workload metrics (paper Section 6): weighted
+ * speedup (Eyerman & Eeckhout), aggregate IPC throughput, and
+ * unfairness as maximum slowdown.
+ */
+
+#ifndef MASK_METRICS_METRICS_HH
+#define MASK_METRICS_METRICS_HH
+
+#include <vector>
+
+namespace mask {
+
+/** Weighted speedup: sum_i IPC_shared_i / IPC_alone_i. */
+double weightedSpeedup(const std::vector<double> &shared_ipc,
+                       const std::vector<double> &alone_ipc);
+
+/** Aggregate IPC throughput: sum_i IPC_shared_i. */
+double ipcThroughput(const std::vector<double> &shared_ipc);
+
+/** Unfairness: max_i IPC_alone_i / IPC_shared_i. */
+double maxSlowdown(const std::vector<double> &shared_ipc,
+                   const std::vector<double> &alone_ipc);
+
+/** Harmonic weighted speedup: N / sum_i (IPC_alone_i/IPC_shared_i). */
+double harmonicSpeedup(const std::vector<double> &shared_ipc,
+                       const std::vector<double> &alone_ipc);
+
+} // namespace mask
+
+#endif // MASK_METRICS_METRICS_HH

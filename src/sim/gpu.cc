@@ -1,0 +1,915 @@
+#include "sim/gpu.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mask {
+
+namespace {
+
+/** Warps per application used to size the token pool. */
+std::uint32_t
+warpsPerApp(const GpuConfig &cfg, std::size_t num_apps)
+{
+    const std::uint32_t apps =
+        static_cast<std::uint32_t>(std::max<std::size_t>(1, num_apps));
+    std::uint32_t max_share = 0;
+    for (std::uint32_t a = 0; a < apps; ++a)
+        max_share = std::max(max_share, coreShareOf(cfg, apps, a));
+    return max_share * cfg.warpsPerCore;
+}
+
+} // namespace
+
+double
+GpuStats::dramBusUtil(ReqType type, std::uint32_t channels) const
+{
+    const double capacity =
+        static_cast<double>(cycles) * channels;
+    return safeDiv(
+        static_cast<double>(dram.busBusy[static_cast<int>(type)]),
+        capacity);
+}
+
+Gpu::Gpu(const GpuConfig &cfg, const std::vector<AppDesc> &apps)
+    : cfg_(cfg),
+      frames_(cfg.pageBits),
+      l2Tlb_(cfg.l2Tlb),
+      l2TlbPipe_(cfg.l2Tlb.ports, cfg.l2Tlb.latency),
+      tlbMshr_(cfg.l2Tlb.mshrs),
+      walker_(cfg.walker),
+      pwCache_(cfg.pwCache.numSets(), cfg.pwCache.ways),
+      pwCachePipe_(cfg.pwCache.portsPerBank, cfg.pwCache.latency),
+      l2Cache_(cfg.l2.numSets(), cfg.l2.ways),
+      l2Pipe_(cfg.l2.banks, cfg.l2.portsPerBank, cfg.l2.latency),
+      l2Mshr_(cfg.l2.mshrs),
+      dram_(cfg.dram, cfg.mask, cfg.lineBits,
+            cfg.mask.dramSched ? DramSchedMode::MaskQueues
+                               : DramSchedMode::FrFcfs,
+            static_cast<std::uint32_t>(apps.size()),
+            cfg.partition.partitionDramChannels),
+      tokens_(cfg.mask, static_cast<std::uint32_t>(apps.size()),
+              warpsPerApp(cfg, apps.size())),
+      bypassCache_(cfg.mask),
+      l2Policy_(cfg.mask),
+      quota_(cfg.mask, static_cast<std::uint32_t>(apps.size())),
+      nextEpoch_(cfg.mask.epochCycles),
+      walkSampler_(10000),
+      readySampler_(10000)
+{
+    assert(!apps.empty());
+
+    l2Input_.resize(cfg_.l2.banks);
+    coreTransWaiters_.resize(cfg_.numCores);
+    stalledAccesses_.assign(apps.size(), 0);
+    warpsPerMissPerApp_.resize(apps.size());
+
+    apps_.resize(apps.size());
+    for (AppId a = 0; a < apps.size(); ++a) {
+        apps_[a].asid = static_cast<Asid>(a + 1);
+        apps_[a].bench = apps[a].bench;
+        apps_[a].streams =
+            std::make_unique<StreamTable>(apps[a].bench->streams);
+        pageTables_.push_back(std::make_unique<PageTable>(
+            apps_[a].asid, cfg_.pageBits, frames_));
+        walkSamplerPerApp_.emplace_back(10000);
+    }
+
+    // Spatial partitioning: distribute cores as evenly as possible,
+    // earlier apps receiving the remainder (the oracle partition
+    // search of Section 6 is provided separately by the runner).
+    const auto num_apps = static_cast<std::uint32_t>(apps.size());
+    cores_.reserve(cfg_.numCores);
+    coreAppIndex_.resize(cfg_.numCores, 0);
+    pendingSwitch_.resize(cfg_.numCores);
+    coreInstrCredited_.resize(cfg_.numCores, 0);
+    appInstr_.assign(apps.size(), 0);
+
+    std::uint32_t next_core = 0;
+    for (AppId a = 0; a < num_apps; ++a) {
+        std::uint32_t share = coreShareOf(cfg_, num_apps, a);
+        if (static_cast<std::uint32_t>(a + 1) == num_apps)
+            share = cfg_.numCores - next_core; // absorb rounding
+        for (std::uint32_t i = 0; i < share; ++i) {
+            const auto core_id = static_cast<CoreId>(next_core++);
+            auto core = std::make_unique<ShaderCore>(core_id, cfg_);
+            core->assign(a, apps_[a].asid, apps_[a].bench,
+                         apps_[a].streams.get(),
+                         i * cfg_.warpsPerCore,
+                         cfg_.seed * 7919 + core_id);
+            coreAppIndex_[core_id] = static_cast<std::uint16_t>(i);
+            apps_[a].cores.push_back(core_id);
+            cores_.push_back(std::move(core));
+        }
+    }
+
+    if (cfg_.mask.dramSched)
+        dram_.setQuotaProvider(&quota_);
+}
+
+Gpu::~Gpu() = default;
+
+// ---------------------------------------------------------------------
+// Main loop
+// ---------------------------------------------------------------------
+
+void
+Gpu::run(Cycle cycles)
+{
+    const Cycle end = now_ + cycles;
+    while (now_ < end)
+        tickOne();
+}
+
+void
+Gpu::tickOne()
+{
+    stageDram();
+    stageL2Cache();
+    if (cfg_.design == TranslationDesign::PwCache)
+        stagePwCache();
+    if (cfg_.design == TranslationDesign::SharedTlb)
+        stageL2Tlb();
+    stageWalker();
+    stageCores();
+    stageSamplers();
+    stageEpoch();
+    stageSwitches();
+    ++now_;
+}
+
+// ---------------------------------------------------------------------
+// DRAM stage
+// ---------------------------------------------------------------------
+
+void
+Gpu::stageDram()
+{
+    dram_.tick(now_, pool_);
+
+    auto &done = dram_.completed();
+    while (!done.empty()) {
+        const ReqId id = done.front();
+        done.pop_front();
+        onMemResponse(id);
+    }
+
+    // Retry requests that found their channel queue full.
+    for (std::size_t n = dramRetry_.size(); n > 0; --n) {
+        const ReqId id = dramRetry_.front();
+        dramRetry_.pop_front();
+        if (dram_.canEnqueue(pool_[id]))
+            dram_.enqueue(id, pool_[id], now_);
+        else
+            dramRetry_.push_back(id);
+    }
+}
+
+void
+Gpu::onMemResponse(ReqId id)
+{
+    MemRequest &req = pool_[id];
+    const std::uint64_t key = l2CacheKey(req.paddr);
+
+    // Completed walk reads feed the page walk cache (Fig. 2a design).
+    if (cfg_.design == TranslationDesign::PwCache &&
+        req.type == ReqType::Translation) {
+        pwCache_.fill(key);
+    }
+
+    if (req.bypassL2) {
+        // MASK L2 bypass: no L2 fill (Section 5.3), but merged
+        // waiters (if this request owns an MSHR entry) complete now.
+        if (req.mshrPrimary) {
+            for (const ReqId waiter : l2Mshr_.complete(key))
+                respondUp(waiter);
+        } else {
+            respondUp(id);
+        }
+        return;
+    }
+
+    // Fill the shared L2 (way-partitioned under the Static baseline).
+    if (cfg_.partition.partitionL2 && apps_.size() > 1) {
+        const std::uint32_t ways_per = std::max<std::uint32_t>(
+            1, cfg_.l2.ways /
+                   static_cast<std::uint32_t>(apps_.size()));
+        const std::uint32_t lo = std::min(cfg_.l2.ways - ways_per,
+                                          req.app * ways_per);
+        l2Cache_.fillRange(key, 0, lo, lo + ways_per);
+    } else {
+        l2Cache_.fill(key);
+    }
+
+    for (const ReqId waiter : l2Mshr_.complete(key))
+        respondUp(waiter);
+}
+
+void
+Gpu::respondUp(ReqId id)
+{
+    MemRequest &req = pool_[id];
+    if (req.origin == ReqOrigin::WarpData) {
+        ShaderCore &core = *cores_[req.core];
+        const std::uint64_t key = l2CacheKey(req.paddr);
+        core.l1d().fill(key);
+        for (const ReqId warp : core.l1Mshr().complete(key))
+            core.accessDone(static_cast<WarpId>(warp), now_);
+        pool_.release(id);
+    } else {
+        walkFetchReturned(id);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared L2 data cache stage
+// ---------------------------------------------------------------------
+
+void
+Gpu::stageL2Cache()
+{
+    for (std::uint32_t b = 0; b < l2Pipe_.numBanks(); ++b) {
+        LatencyPipe &bank = l2Pipe_.bank(b);
+        while (bank.hasReady(now_))
+            l2LookupDone(static_cast<ReqId>(bank.pop()));
+        auto &input = l2Input_[b];
+        while (!input.empty() && bank.canAccept(now_)) {
+            bank.push(input.front(), now_);
+            input.pop_front();
+        }
+    }
+}
+
+void
+Gpu::l2LookupDone(ReqId id)
+{
+    MemRequest &req = pool_[id];
+    const std::uint64_t key = l2CacheKey(req.paddr);
+    const bool hit = l2Cache_.lookup(key);
+
+    // MSHR-full retries re-probe; count each logical access once.
+    if (!req.l2StatsCounted) {
+        req.l2StatsCounted = true;
+        const auto type_idx = static_cast<int>(req.type);
+        if (hit)
+            ++l2Stats_[type_idx].hits;
+        else
+            ++l2Stats_[type_idx].misses;
+        HitMiss &level_stats = l2StatsPerLevel_[req.pwLevel];
+        if (hit)
+            ++level_stats.hits;
+        else
+            ++level_stats.misses;
+        l2Policy_.recordAccess(req.pwLevel, hit);
+    }
+
+    if (hit) {
+        respondUp(id);
+        return;
+    }
+
+    switch (l2Mshr_.allocate(key, id)) {
+      case MshrTable::Outcome::Allocated:
+        req.mshrPrimary = true;
+        sendToDram(id);
+        break;
+      case MshrTable::Outcome::Merged:
+        break;
+      case MshrTable::Outcome::Full:
+        // Retry the lookup next cycle through the bank input queue;
+        // the line may be present (or an MSHR free) by then.
+        l2Input_[l2Pipe_.bankFor(key)].push_back(id);
+        break;
+    }
+}
+
+void
+Gpu::sendToL2(ReqId id)
+{
+    MemRequest &req = pool_[id];
+    if (req.type == ReqType::Translation && cfg_.mask.l2Bypass &&
+        l2Policy_.shouldBypass(req.pwLevel)) {
+        // Bypass skips the L2 probe/fill, not the miss-merging: walks
+        // to the same PTE line still coalesce in the MSHRs.
+        req.bypassL2 = true;
+        const std::uint64_t key = l2CacheKey(req.paddr);
+        switch (l2Mshr_.allocate(key, id)) {
+          case MshrTable::Outcome::Allocated:
+            req.mshrPrimary = true;
+            sendToDram(id);
+            break;
+          case MshrTable::Outcome::Merged:
+            break;
+          case MshrTable::Outcome::Full:
+            // Rare: forward unmerged rather than stall the walker.
+            sendToDram(id);
+            break;
+        }
+        return;
+    }
+    const std::uint64_t key = l2CacheKey(req.paddr);
+    l2Input_[l2Pipe_.bankFor(key)].push_back(id);
+}
+
+void
+Gpu::sendToDram(ReqId id)
+{
+    MemRequest &req = pool_[id];
+    if (dram_.canEnqueue(req)) {
+        dram_.enqueue(id, req, now_);
+    } else {
+        dram_.noteReject(req);
+        dramRetry_.push_back(id);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Page walk cache stage (PwCache baseline, Fig. 2a)
+// ---------------------------------------------------------------------
+
+void
+Gpu::stagePwCache()
+{
+    while (pwCachePipe_.hasReady(now_)) {
+        const auto id = static_cast<ReqId>(pwCachePipe_.pop());
+        MemRequest &req = pool_[id];
+        const std::uint64_t key = l2CacheKey(req.paddr);
+        if (pwCache_.lookup(key)) {
+            ++pwStats_.hits;
+            walkFetchReturned(id);
+        } else {
+            ++pwStats_.misses;
+            sendToL2(id);
+        }
+    }
+    while (!pwInput_.empty() && pwCachePipe_.canAccept(now_)) {
+        pwCachePipe_.push(pwInput_.front(), now_);
+        pwInput_.pop_front();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared L2 TLB stage (SharedTlb baseline, Fig. 2b)
+// ---------------------------------------------------------------------
+
+void
+Gpu::stageL2Tlb()
+{
+    while (l2TlbPipe_.hasReady(now_))
+        resolveL2TlbLookup(
+            static_cast<std::uint32_t>(l2TlbPipe_.pop()));
+    while (!l2TlbInput_.empty() && l2TlbPipe_.canAccept(now_)) {
+        l2TlbPipe_.push(l2TlbInput_.front(), now_);
+        l2TlbInput_.pop_front();
+    }
+}
+
+void
+Gpu::resolveL2TlbLookup(std::uint32_t slot)
+{
+    TransSlot &s = transSlots_[slot];
+    Pfn pfn = kInvalidPfn;
+
+    // Probe the shared L2 TLB and (under MASK-TLB) the bypass cache in
+    // parallel; a hit in either is a TLB hit (Section 5.2).
+    bool hit = l2Tlb_.lookup(s.asid, s.vpn, &pfn);
+    if (!hit && cfg_.mask.tlbTokens &&
+        bypassCache_.lookup(s.asid, s.vpn, &pfn)) {
+        hit = true;
+    }
+
+    if (hit) {
+        const CoreId core = s.access.core;
+        const Asid asid = s.asid;
+        const Vpn vpn = s.vpn;
+        const AppId app = s.app;
+        freeTransSlot(slot);
+        completeCoreTranslation(core, asid, vpn, app, pfn);
+        return;
+    }
+
+    tlbMissToWalker(slot);
+}
+
+void
+Gpu::tlbMissToWalker(std::uint32_t slot)
+{
+    TransSlot &s = transSlots_[slot];
+    switch (tlbMshr_.allocate(s.asid, s.vpn, s.app, s.access, now_)) {
+      case TlbMshrTable::Outcome::Allocated:
+        if (walker_.hasCapacity())
+            startWalkFor(s.asid, s.vpn, s.app);
+        else
+            walkStartQueue_.push_back(tlbKey(s.asid, s.vpn));
+        freeTransSlot(slot);
+        break;
+      case TlbMshrTable::Outcome::Merged:
+        freeTransSlot(slot);
+        break;
+      case TlbMshrTable::Outcome::Full:
+        tlbMissRetry_.push_back(slot);
+        break;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Page table walker stage
+// ---------------------------------------------------------------------
+
+void
+Gpu::startWalkFor(Asid asid, Vpn vpn, AppId app)
+{
+    const auto addrs = pageTables_[app]->walkAddrs(vpn);
+    const WalkId walk = walker_.startWalk(asid, vpn, app, addrs, now_);
+    TlbMshrTable::Entry &entry = tlbMshr_.get(asid, vpn);
+    entry.walkStarted = true;
+    entry.walkId = walk;
+}
+
+void
+Gpu::stageWalker()
+{
+    // Retry MSHR-full translation misses.
+    for (std::size_t n = tlbMissRetry_.size(); n > 0; --n) {
+        const std::uint32_t slot = tlbMissRetry_.front();
+        tlbMissRetry_.pop_front();
+        tlbMissToWalker(slot);
+    }
+
+    // Start queued walks as walker threads free up.
+    while (!walkStartQueue_.empty() && walker_.hasCapacity()) {
+        const std::uint64_t key = walkStartQueue_.front();
+        walkStartQueue_.pop_front();
+        const Asid asid = tlbKeyAsid(key);
+        const Vpn vpn = tlbKeyVpn(key);
+        startWalkFor(asid, vpn, tlbMshr_.get(asid, vpn).app);
+    }
+
+    // Issue the next PTE fetch of every walk that is ready for one.
+    while (walker_.hasPendingFetch()) {
+        const WalkId walk = walker_.popPendingFetch();
+        issueWalkFetch(walk);
+    }
+}
+
+void
+Gpu::issueWalkFetch(WalkId walk)
+{
+    const PageTableWalker::WalkInfo &info = walker_.info(walk);
+    const ReqId id = pool_.alloc();
+    MemRequest &req = pool_[id];
+    req.paddr = walker_.fetchAddr(walk) &
+                ~((Addr{1} << cfg_.lineBits) - 1);
+    req.asid = info.asid;
+    req.app = info.app;
+    req.type = ReqType::Translation;
+    req.origin = ReqOrigin::PageWalk;
+    req.pwLevel = walker_.fetchLevel(walk);
+    req.walkId = walk;
+    req.issueCycle = now_;
+    dispatchTranslationRequest(id);
+}
+
+void
+Gpu::dispatchTranslationRequest(ReqId id)
+{
+    if (cfg_.design == TranslationDesign::PwCache)
+        pwInput_.push_back(id);
+    else
+        sendToL2(id);
+}
+
+void
+Gpu::walkFetchReturned(ReqId id)
+{
+    MemRequest &req = pool_[id];
+    const WalkId walk = req.walkId;
+    pool_.release(id);
+    if (walker_.fetchComplete(walk, now_))
+        finishWalk(walk);
+}
+
+void
+Gpu::finishWalk(WalkId walk)
+{
+    const PageTableWalker::WalkInfo info = walker_.info(walk);
+    walker_.release(walk);
+
+    const Pfn pfn = pageTables_[info.app]->lookup(info.vpn);
+    assert(pfn != kInvalidPfn && "walk finished for unmapped page");
+
+    TlbMshrTable::Entry entry = tlbMshr_.complete(info.asid, info.vpn);
+    tlbMissLatency_.add(
+        static_cast<double>(now_ - entry.firstMissCycle));
+
+    // True Fig. 6 statistic: warp-accesses parked across all waiting
+    // cores' translation MSHRs for this miss.
+    std::size_t stalled = 0;
+    const std::uint64_t key = tlbKey(info.asid, info.vpn);
+    for (const StalledAccess &access : entry.waiters) {
+        auto it = coreTransWaiters_[access.core].find(key);
+        if (it != coreTransWaiters_[access.core].end())
+            stalled += it->second.size();
+    }
+    warpsPerMiss_.add(static_cast<double>(stalled));
+    warpsPerMissPerApp_[info.app].add(static_cast<double>(stalled));
+
+    fillL2TlbOnWalkDone(entry, pfn);
+
+    // One waiter per requesting core (per-core MSHRs coalesce the
+    // rest); each drains its core's parked accesses.
+    for (const StalledAccess &access : entry.waiters) {
+        completeCoreTranslation(access.core, info.asid, info.vpn,
+                                info.app, pfn);
+    }
+}
+
+void
+Gpu::fillL2TlbOnWalkDone(const TlbMshrTable::Entry &entry, Pfn pfn)
+{
+    if (cfg_.design != TranslationDesign::SharedTlb)
+        return;
+
+    if (cfg_.mask.tlbTokens) {
+        // The warp that triggered the walk decides where the PTE
+        // lands: shared L2 TLB if it holds a token, bypass cache
+        // otherwise (Section 5.2).
+        assert(!entry.waiters.empty());
+        const StalledAccess &primary = entry.waiters.front();
+        const std::uint32_t warp_index =
+            coreAppIndex_[primary.core] * cfg_.warpsPerCore +
+            primary.warp;
+        if (tokens_.mayFill(entry.app, warp_index))
+            l2Tlb_.fill(entry.asid, entry.vpn, pfn);
+        else
+            bypassCache_.fill(entry.asid, entry.vpn, pfn);
+    } else {
+        l2Tlb_.fill(entry.asid, entry.vpn, pfn);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Core stage
+// ---------------------------------------------------------------------
+
+void
+Gpu::stageCores()
+{
+    // Retry data accesses that found the L1 MSHRs full.
+    for (std::size_t n = dataRetry_.size(); n > 0; --n) {
+        const DataRetry retry = dataRetry_.front();
+        dataRetry_.pop_front();
+        startDataAccess(retry.access, retry.app, retry.pfn);
+    }
+
+    for (auto &core : cores_) {
+        const std::optional<IssuedAccess> issued = core->issue(now_);
+        if (issued.has_value())
+            handleCoreAccess(*core, *issued);
+    }
+}
+
+void
+Gpu::handleCoreAccess(ShaderCore &core, const IssuedAccess &issued)
+{
+    const AppId app = core.app();
+    for (std::uint32_t part = 0; part < issued.count; ++part) {
+        core.noteAccessInFlight();
+        const Addr vaddr = issued.vaddrs[part];
+        const Vpn vpn = vpnOf(vaddr);
+
+        // Demand-map on first touch; page faults are future work in
+        // the paper (Section 5.5) and cost nothing here.
+        const Pfn pfn = pageTables_[app]->mapPage(vpn);
+
+        StalledAccess access;
+        access.vaddr = vaddr;
+        access.core = core.id();
+        access.warp = issued.warp;
+        access.issueCycle = now_;
+
+        if (cfg_.ideal()) {
+            // Ideal TLB: translation is free and always correct.
+            startDataAccess(access, app, pfn);
+            continue;
+        }
+
+        Pfn cached = kInvalidPfn;
+        if (core.l1Tlb().lookup(core.asid(), vpn, &cached)) {
+            startDataAccess(access, app, cached);
+            continue;
+        }
+        onL1TlbMiss(core, access, vpn);
+    }
+}
+
+void
+Gpu::onL1TlbMiss(ShaderCore &core, const StalledAccess &access, Vpn vpn)
+{
+    // Per-core translation MSHR: coalesce concurrent misses from this
+    // core to the same page into one shared-structure probe.
+    auto &waiters = coreTransWaiters_[core.id()];
+    const std::uint64_t key = tlbKey(core.asid(), vpn);
+    ++stalledAccesses_[core.app()];
+    auto it = waiters.find(key);
+    if (it != waiters.end()) {
+        it->second.push_back(access);
+        return;
+    }
+    waiters.emplace(key, std::vector<StalledAccess>{access});
+
+    const std::uint32_t slot =
+        allocTransSlot(access, core.asid(), vpn, core.app());
+    if (cfg_.design == TranslationDesign::SharedTlb)
+        l2TlbInput_.push_back(slot);
+    else
+        tlbMissToWalker(slot); // PwCache: miss goes straight to a walk
+}
+
+void
+Gpu::completeCoreTranslation(CoreId core, Asid asid, Vpn vpn, AppId app,
+                             Pfn pfn)
+{
+    cores_[core]->l1Tlb().fill(asid, vpn, pfn);
+
+    auto &waiters = coreTransWaiters_[core];
+    auto it = waiters.find(tlbKey(asid, vpn));
+    assert(it != waiters.end() &&
+           "translation completed with no core waiters");
+    std::vector<StalledAccess> parked = std::move(it->second);
+    waiters.erase(it);
+    assert(stalledAccesses_[app] >= parked.size());
+    stalledAccesses_[app] -= static_cast<std::uint32_t>(parked.size());
+    for (const StalledAccess &access : parked)
+        startDataAccess(access, app, pfn);
+}
+
+void
+Gpu::startDataAccess(const StalledAccess &access, AppId app, Pfn pfn)
+{
+    ShaderCore &core = *cores_[access.core];
+    const Addr paddr = (static_cast<Addr>(pfn) << cfg_.pageBits) |
+                       (access.vaddr & (cfg_.pageBytes() - 1));
+    const std::uint64_t key = l2CacheKey(paddr);
+
+    if (core.l1d().lookup(key)) {
+        ++core.l1dStats().hits;
+        core.accessDone(access.warp, now_);
+        return;
+    }
+    ++core.l1dStats().misses;
+
+    switch (core.l1Mshr().allocate(key, access.warp)) {
+      case MshrTable::Outcome::Allocated: {
+        const ReqId id = pool_.alloc();
+        MemRequest &req = pool_[id];
+        req.paddr = paddr;
+        req.asid = core.asid();
+        req.app = app;
+        req.core = access.core;
+        req.warp = access.warp;
+        req.type = ReqType::Data;
+        req.origin = ReqOrigin::WarpData;
+        req.pwLevel = 0;
+        req.issueCycle = access.issueCycle;
+        sendToL2(id);
+        break;
+      }
+      case MshrTable::Outcome::Merged:
+        break;
+      case MshrTable::Outcome::Full:
+        dataRetry_.push_back(DataRetry{access, app, pfn});
+        break;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Samplers, epochs, switches
+// ---------------------------------------------------------------------
+
+void
+Gpu::stageSamplers()
+{
+    walkSampler_.tick(now_,
+                      static_cast<double>(walker_.activeWalks()));
+    for (AppId a = 0; a < apps_.size(); ++a) {
+        walkSamplerPerApp_[a].tick(
+            now_, static_cast<double>(walker_.activeWalksFor(a)));
+    }
+
+    double ready = 0.0;
+    for (const auto &core : cores_)
+        ready += core->readyWarps();
+    readySampler_.tick(now_, ready / static_cast<double>(
+                                         cores_.size()));
+
+    if (cfg_.mask.dramSched) {
+        for (AppId a = 0; a < apps_.size(); ++a) {
+            quota_.sample(a, walker_.activeWalksFor(a),
+                          stalledAccesses_[a]);
+        }
+    }
+}
+
+void
+Gpu::stageEpoch()
+{
+    if (now_ < nextEpoch_)
+        return;
+    nextEpoch_ += cfg_.mask.epochCycles;
+
+    for (AppId a = 0; a < apps_.size(); ++a) {
+        tokens_.onEpoch(
+            a, l2Tlb_.epochStatsFor(apps_[a].asid).missRate());
+    }
+    tokens_.epochComplete();
+    l2Tlb_.resetEpochStats();
+    l2Policy_.onEpoch();
+    quota_.onEpoch();
+    dram_.onEpoch();
+}
+
+void
+Gpu::tlbShootdown(Asid asid)
+{
+    for (auto &core : cores_) {
+        if (core->asid() == asid)
+            core->l1Tlb().flushAsid(asid);
+    }
+    l2Tlb_.flushAsid(asid);
+    // Section 5.2: the bypass cache is flushed whenever PTEs change.
+    bypassCache_.flush();
+    // The page walk cache holds raw PTE lines without ASID tags;
+    // flush it conservatively.
+    pwCache_.flush();
+}
+
+void
+Gpu::switchAllCores(AppId app, Cycle switch_penalty)
+{
+    creditInstructions();
+    ++switchSeed_;
+    for (CoreId c = 0; c < cores_.size(); ++c) {
+        pendingSwitch_[c] =
+            PendingSwitch{true, app, now_ + switch_penalty};
+        cores_[c]->startDrain();
+    }
+}
+
+bool
+Gpu::switchesPending() const
+{
+    for (const auto &sw : pendingSwitch_) {
+        if (sw.pending)
+            return true;
+    }
+    return false;
+}
+
+void
+Gpu::stageSwitches()
+{
+    for (CoreId c = 0; c < cores_.size(); ++c) {
+        PendingSwitch &sw = pendingSwitch_[c];
+        if (!sw.pending || !cores_[c]->drained() ||
+            now_ < sw.notBefore) {
+            continue;
+        }
+        ShaderCore &core = *cores_[c];
+        // Credit what the outgoing app executed on this core.
+        appInstr_[core.app()] +=
+            core.instructions() - coreInstrCredited_[c];
+        coreInstrCredited_[c] = core.instructions();
+
+        // Address-space change: flush this core's L1 TLB (Section
+        // 5.1); assign() also cold-starts the L1 data cache.
+        core.assign(sw.app, apps_[sw.app].asid, apps_[sw.app].bench,
+                    apps_[sw.app].streams.get(),
+                    c * cfg_.warpsPerCore,
+                    cfg_.seed * 31 + c + switchSeed_ * 131071);
+        coreAppIndex_[c] = static_cast<std::uint16_t>(c);
+        sw.pending = false;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Slots, stats
+// ---------------------------------------------------------------------
+
+std::uint32_t
+Gpu::allocTransSlot(const StalledAccess &access, Asid asid, Vpn vpn,
+                    AppId app)
+{
+    std::uint32_t slot;
+    if (!freeTransSlots_.empty()) {
+        slot = freeTransSlots_.back();
+        freeTransSlots_.pop_back();
+    } else {
+        slot = static_cast<std::uint32_t>(transSlots_.size());
+        transSlots_.emplace_back();
+    }
+    transSlots_[slot] = TransSlot{access, asid, vpn, app, true};
+    return slot;
+}
+
+void
+Gpu::freeTransSlot(std::uint32_t slot)
+{
+    assert(transSlots_[slot].inUse);
+    transSlots_[slot].inUse = false;
+    freeTransSlots_.push_back(slot);
+}
+
+void
+Gpu::creditInstructions()
+{
+    for (CoreId c = 0; c < cores_.size(); ++c) {
+        appInstr_[cores_[c]->app()] +=
+            cores_[c]->instructions() - coreInstrCredited_[c];
+        coreInstrCredited_[c] = cores_[c]->instructions();
+    }
+}
+
+std::uint64_t
+Gpu::appInstructions(AppId app)
+{
+    creditInstructions();
+    return appInstr_[app];
+}
+
+void
+Gpu::resetStats()
+{
+    statsStart_ = now_;
+    std::fill(appInstr_.begin(), appInstr_.end(), 0);
+    for (CoreId c = 0; c < cores_.size(); ++c) {
+        cores_[c]->resetStats();
+        coreInstrCredited_[c] = 0;
+    }
+    l2Tlb_.resetStats();
+    bypassCache_.resetStats();
+    pwStats_.reset();
+    for (auto &hm : l2Stats_)
+        hm.reset();
+    for (auto &hm : l2StatsPerLevel_)
+        hm.reset();
+    dram_.resetStats();
+    walker_.resetStats();
+    tlbMshr_.resetStats();
+    tlbMissLatency_.reset();
+    warpsPerMiss_.reset();
+    for (auto &stat : warpsPerMissPerApp_)
+        stat.reset();
+    walkSampler_.reset();
+    for (auto &sampler : walkSamplerPerApp_)
+        sampler.reset();
+    readySampler_.reset();
+}
+
+GpuStats
+Gpu::collect()
+{
+    creditInstructions();
+
+    GpuStats out;
+    out.cycles = now_ - statsStart_;
+    out.instructions = appInstr_;
+    out.ipc.resize(apps_.size());
+    for (AppId a = 0; a < apps_.size(); ++a) {
+        out.ipc[a] = safeDiv(static_cast<double>(appInstr_[a]),
+                             static_cast<double>(out.cycles));
+    }
+
+    for (auto &core : cores_) {
+        out.l1Tlb += core->l1Tlb().stats();
+        out.l1d += core->l1dStats();
+        out.warpStallCycles += core->stallCycles();
+    }
+    out.l2Tlb = l2Tlb_.stats();
+    for (AppId a = 0; a < apps_.size(); ++a)
+        out.l2TlbPerApp.push_back(l2Tlb_.statsFor(apps_[a].asid));
+    out.bypassCache = bypassCache_.stats();
+    out.pwCache = pwStats_;
+    out.l2Cache[0] = l2Stats_[0];
+    out.l2Cache[1] = l2Stats_[1];
+    for (int lvl = 0; lvl < 5; ++lvl)
+        out.l2CachePerLevel[lvl] = l2StatsPerLevel_[lvl];
+
+    out.dram = dram_.aggregateStats();
+    out.walks = walker_.walksStarted();
+    out.walkLatency = walker_.walkLatency();
+    out.tlbMissLatency = tlbMissLatency_;
+    out.concurrentWalks = walkSampler_.stat();
+    for (auto &sampler : walkSamplerPerApp_)
+        out.concurrentWalksPerApp.push_back(sampler.stat());
+    out.warpsPerMiss = warpsPerMiss_;
+    out.warpsPerMissPerApp = warpsPerMissPerApp_;
+    out.readyWarpsPerCore = readySampler_.stat();
+
+    for (AppId a = 0; a < apps_.size(); ++a)
+        out.tokens.push_back(tokens_.tokens(a));
+    out.l2Bypasses = l2Policy_.bypasses();
+    return out;
+}
+
+} // namespace mask

@@ -1,0 +1,321 @@
+/**
+ * @file
+ * The full GPU model: shader cores, private L1 TLBs/caches, the shared
+ * L2 TLB or page walk cache (the two Section 3 baselines), the shared
+ * page table walker, the shared L2 data cache, DRAM, and the three
+ * MASK mechanisms — wired together and advanced cycle by cycle.
+ */
+
+#ifndef MASK_SIM_GPU_HH
+#define MASK_SIM_GPU_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/bank_model.hh"
+#include "cache/cache.hh"
+#include "cache/mshr.hh"
+#include "common/config.hh"
+#include "common/memreq.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "core/shader_core.hh"
+#include "dram/dram.hh"
+#include "mask/bypass_cache.hh"
+#include "mask/dram_sched.hh"
+#include "mask/l2_bypass.hh"
+#include "mask/tokens.hh"
+#include "tlb/tlb.hh"
+#include "tlb/tlb_mshr.hh"
+#include "vm/page_table.hh"
+#include "vm/walker.hh"
+#include "workload/generator.hh"
+
+namespace mask {
+
+/** One application to run on the GPU. */
+struct AppDesc
+{
+    const BenchmarkParams *bench = nullptr;
+};
+
+/** Snapshot of everything the evaluation section reports. */
+struct GpuStats
+{
+    Cycle cycles = 0;
+
+    std::vector<std::uint64_t> instructions; //!< per app
+    std::vector<double> ipc;                 //!< per app
+
+    HitMiss l1Tlb;                      //!< aggregated over cores
+    HitMiss l2Tlb;
+    std::vector<HitMiss> l2TlbPerApp;
+    HitMiss bypassCache;
+    HitMiss pwCache;
+    HitMiss l1d;
+    HitMiss l2Cache[2];                 //!< indexed by ReqType
+    HitMiss l2CachePerLevel[5];         //!< 0 = data, 1..4 walk levels
+
+    DramChannelStats dram;
+
+    std::uint64_t walks = 0;
+    RunningStat walkLatency;            //!< cycles per completed walk
+    RunningStat tlbMissLatency;         //!< first miss -> fill
+    RunningStat concurrentWalks;        //!< sampled every 10K cycles
+    std::vector<RunningStat> concurrentWalksPerApp;
+    RunningStat warpsPerMiss;           //!< Fig. 6
+    std::vector<RunningStat> warpsPerMissPerApp;
+    RunningStat readyWarpsPerCore;      //!< latency-hiding headroom
+
+    std::vector<std::uint32_t> tokens;  //!< final per-app token counts
+    std::uint64_t l2Bypasses = 0;
+
+    std::uint64_t warpStallCycles = 0;
+
+    /** Weighted fraction of peak DRAM bandwidth used, by type. */
+    double dramBusUtil(ReqType type, std::uint32_t channels) const;
+};
+
+/** The GPU. */
+class Gpu
+{
+  public:
+    Gpu(const GpuConfig &cfg, const std::vector<AppDesc> &apps);
+    ~Gpu();
+
+    Gpu(const Gpu &) = delete;
+    Gpu &operator=(const Gpu &) = delete;
+
+    /** Advance the model by @p cycles. */
+    void run(Cycle cycles);
+
+    /** Advance one cycle. */
+    void tickOne();
+
+    Cycle now() const { return now_; }
+    const GpuConfig &config() const { return cfg_; }
+    std::uint32_t numApps() const
+    {
+        return static_cast<std::uint32_t>(apps_.size());
+    }
+
+    /** Zero all measurement state (start of the measured window). */
+    void resetStats();
+
+    /** Snapshot current statistics. */
+    GpuStats collect();
+
+    /** Instructions credited to @p app since resetStats. */
+    std::uint64_t appInstructions(AppId app);
+
+    /**
+     * TLB shootdown for one address space (Section 5.1/5.2): flushes
+     * the matching cores' L1 TLBs, every L2 TLB entry tagged with the
+     * ASID, the TLB bypass cache, and (conservatively) the page walk
+     * cache. Pending walks are unaffected — they re-read the current
+     * page table.
+     */
+    void tlbShootdown(Asid asid);
+
+    // --- Time multiplexing support (Fig. 1 experiment) ---
+
+    /**
+     * Begin switching every core to @p app: each core drains its
+     * in-flight requests (Section 5.1), waits @p switch_penalty extra
+     * cycles (driver/runtime cost), then restarts with fresh warps.
+     */
+    void switchAllCores(AppId app, Cycle switch_penalty);
+
+    /** True while any core is still draining/switching. */
+    bool switchesPending() const;
+
+    // --- Introspection (tests, benches, examples) ---
+
+    ShaderCore &core(CoreId id) { return *cores_[id]; }
+    std::uint32_t numCores() const
+    {
+        return static_cast<std::uint32_t>(cores_.size());
+    }
+    Tlb &sharedTlb() { return l2Tlb_; }
+    TlbBypassCache &bypassCache() { return bypassCache_; }
+    TlbMshrTable &tlbMshr() { return tlbMshr_; }
+    PageTableWalker &walker() { return walker_; }
+    Dram &dram() { return dram_; }
+    PageTable &pageTable(AppId app) { return *pageTables_[app]; }
+    TokenManager &tokenManager() { return tokens_; }
+    L2BypassPolicy &l2BypassPolicy() { return l2Policy_; }
+    SilverQuotaController &quota() { return quota_; }
+    const std::vector<CoreId> &coresOf(AppId app) const
+    {
+        return apps_[app].cores;
+    }
+    /** In-flight requests below the L1 structures. */
+    std::size_t inFlightRequests() const { return pool_.liveCount(); }
+
+  private:
+    struct AppContext
+    {
+        Asid asid = 0;
+        const BenchmarkParams *bench = nullptr;
+        std::vector<CoreId> cores;
+        /** Shared per-stream progress counters (SIMT lockstep). */
+        std::unique_ptr<StreamTable> streams;
+    };
+
+    /** Parked translation work item flowing to the shared L2 TLB. */
+    struct TransSlot
+    {
+        StalledAccess access;
+        Asid asid = 0;
+        Vpn vpn = 0;
+        AppId app = 0;
+        bool inUse = false;
+    };
+
+    struct PendingSwitch
+    {
+        bool pending = false;
+        AppId app = 0;
+        Cycle notBefore = 0;
+    };
+
+    /** Translated data access waiting for a free L1 MSHR. */
+    struct DataRetry
+    {
+        StalledAccess access;
+        AppId app = 0;
+        Pfn pfn = 0;
+    };
+
+    // --- Pipeline stages (called from tickOne in order) ---
+    void stageDram();
+    void stageL2Cache();
+    void stagePwCache();
+    void stageL2Tlb();
+    void stageWalker();
+    void stageCores();
+    void stageEpoch();
+    void stageSwitches();
+    void stageSamplers();
+
+    // --- Request plumbing ---
+    std::uint32_t allocTransSlot(const StalledAccess &access, Asid asid,
+                                 Vpn vpn, AppId app);
+    void freeTransSlot(std::uint32_t slot);
+
+    void handleCoreAccess(ShaderCore &core, const IssuedAccess &issued);
+    void onL1TlbMiss(ShaderCore &core, const StalledAccess &access,
+                     Vpn vpn);
+    /** Translation for (asid, vpn) arrived at @p core: fill its L1
+     *  TLB and restart every access parked in the core's translation
+     *  MSHR (per-core miss coalescing). */
+    void completeCoreTranslation(CoreId core, Asid asid, Vpn vpn,
+                                 AppId app, Pfn pfn);
+    void resolveL2TlbLookup(std::uint32_t slot);
+    void tlbMissToWalker(std::uint32_t slot);
+    void startWalkFor(Asid asid, Vpn vpn, AppId app);
+    void issueWalkFetch(WalkId walk);
+    void dispatchTranslationRequest(ReqId id);
+    void sendToL2(ReqId id);
+    void sendToDram(ReqId id);
+    void l2LookupDone(ReqId id);
+    void onMemResponse(ReqId id);
+    void respondUp(ReqId id);
+    void walkFetchReturned(ReqId id);
+    void finishWalk(WalkId walk);
+    void startDataAccess(const StalledAccess &access, AppId app,
+                         Pfn pfn);
+    void fillL2TlbOnWalkDone(const TlbMshrTable::Entry &entry, Pfn pfn);
+    void creditInstructions();
+
+    std::uint64_t l2CacheKey(Addr paddr) const
+    {
+        return paddr >> cfg_.lineBits;
+    }
+    Vpn vpnOf(Addr vaddr) const { return vaddr >> cfg_.pageBits; }
+
+    GpuConfig cfg_;
+    Cycle now_ = 0;
+    Cycle statsStart_ = 0;
+
+    std::vector<AppContext> apps_;
+    std::vector<std::unique_ptr<ShaderCore>> cores_;
+    FrameAllocator frames_;
+    std::vector<std::unique_ptr<PageTable>> pageTables_;
+
+    RequestPool pool_;
+
+    // Shared translation structures.
+    Tlb l2Tlb_;
+    LatencyPipe l2TlbPipe_;
+    std::deque<std::uint32_t> l2TlbInput_;
+    std::vector<TransSlot> transSlots_;
+    std::vector<std::uint32_t> freeTransSlots_;
+    std::deque<std::uint32_t> tlbMissRetry_;
+    TlbMshrTable tlbMshr_;
+    std::deque<std::uint64_t> walkStartQueue_; //!< tlbKey(asid, vpn)
+    PageTableWalker walker_;
+
+    // Page walk cache (PwCache baseline).
+    SetAssocCache pwCache_;
+    LatencyPipe pwCachePipe_;
+    std::deque<ReqId> pwInput_;
+    HitMiss pwStats_;
+
+    // Shared L2 data cache.
+    SetAssocCache l2Cache_;
+    BankedPipe l2Pipe_;
+    std::vector<std::deque<ReqId>> l2Input_;
+    MshrTable l2Mshr_;
+    HitMiss l2Stats_[2];
+    HitMiss l2StatsPerLevel_[5];
+
+    // DRAM.
+    Dram dram_;
+    std::deque<ReqId> dramRetry_;
+
+    // MASK mechanisms.
+    TokenManager tokens_;
+    TlbBypassCache bypassCache_;
+    L2BypassPolicy l2Policy_;
+    SilverQuotaController quota_;
+    Cycle nextEpoch_;
+
+    // Stats plumbing.
+    /** Warp-accesses currently parked on translations, per app. */
+    std::vector<std::uint32_t> stalledAccesses_;
+    /** True warps-stalled-per-miss (Fig. 6), counting core-MSHR
+     *  waiters across all cores at walk completion. */
+    RunningStat warpsPerMiss_;
+    std::vector<RunningStat> warpsPerMissPerApp_;
+    std::vector<std::uint64_t> appInstr_;
+    std::vector<std::uint64_t> coreInstrCredited_;
+    RunningStat tlbMissLatency_;
+    IntervalSampler walkSampler_;
+    std::vector<IntervalSampler> walkSamplerPerApp_;
+    IntervalSampler readySampler_;
+
+    std::vector<PendingSwitch> pendingSwitch_;
+    std::uint64_t switchSeed_ = 0;
+
+    std::deque<DataRetry> dataRetry_;
+    /** Index of each core within its application's core list. */
+    std::vector<std::uint16_t> coreAppIndex_;
+
+    /**
+     * Per-core translation MSHRs: accesses from one core waiting on
+     * the same in-flight translation coalesce into one shared-TLB
+     * probe (keyed by tlbKey(asid, vpn)).
+     */
+    std::vector<std::unordered_map<std::uint64_t,
+                                   std::vector<StalledAccess>>>
+        coreTransWaiters_;
+};
+
+} // namespace mask
+
+#endif // MASK_SIM_GPU_HH

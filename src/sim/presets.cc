@@ -1,0 +1,28 @@
+#include "sim/presets.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mask {
+
+GpuConfig
+archByName(std::string_view name)
+{
+    if (name == "maxwell")
+        return maxwellConfig();
+    if (name == "fermi")
+        return fermiConfig();
+    if (name == "integrated")
+        return integratedGpuConfig();
+    std::fprintf(stderr, "unknown architecture preset: %.*s\n",
+                 static_cast<int>(name.size()), name.data());
+    std::abort();
+}
+
+std::vector<std::string_view>
+allArchNames()
+{
+    return {"maxwell", "fermi", "integrated"};
+}
+
+} // namespace mask

@@ -1,0 +1,124 @@
+#include "sim/runner.hh"
+
+#include <cstdlib>
+
+#include "metrics/metrics.hh"
+
+namespace mask {
+
+RunOptions
+defaultRunOptions()
+{
+    RunOptions options;
+    if (const char *fast = std::getenv("MASK_BENCH_FAST");
+        fast != nullptr && fast[0] == '1') {
+        options.warmup = 10000;
+        options.measure = 40000;
+    }
+    if (const char *cycles = std::getenv("MASK_BENCH_CYCLES")) {
+        const long long n = std::atoll(cycles);
+        if (n > 0) {
+            options.measure = static_cast<Cycle>(n);
+            options.warmup = std::max<Cycle>(5000, options.measure / 4);
+        }
+    }
+    return options;
+}
+
+namespace {
+
+std::vector<AppDesc>
+toAppDescs(const std::vector<std::string> &bench_names)
+{
+    std::vector<AppDesc> apps;
+    apps.reserve(bench_names.size());
+    for (const auto &name : bench_names)
+        apps.push_back(AppDesc{&findBenchmark(name)});
+    return apps;
+}
+
+} // namespace
+
+GpuStats
+Evaluator::runShared(const GpuConfig &arch, DesignPoint point,
+                     const std::vector<std::string> &bench_names)
+{
+    const GpuConfig cfg = applyDesignPoint(arch, point);
+    Gpu gpu(cfg, toAppDescs(bench_names));
+    gpu.run(options_.warmup);
+    gpu.resetStats();
+    gpu.run(options_.measure);
+    return gpu.collect();
+}
+
+double
+Evaluator::aloneIpc(const GpuConfig &arch, DesignPoint point,
+                    const std::string &bench, std::uint32_t cores)
+{
+    const std::string key = arch.name + "/" +
+                            designPointName(point) + "/" + bench +
+                            "/" + std::to_string(cores) + "/" +
+                            std::to_string(options_.measure);
+    if (auto it = aloneCache_.find(key); it != aloneCache_.end())
+        return it->second;
+
+    GpuConfig cfg = applyDesignPoint(arch, point);
+    cfg.numCores = cores;
+    Gpu gpu(cfg, toAppDescs({bench}));
+    gpu.run(options_.warmup);
+    gpu.resetStats();
+    gpu.run(options_.measure);
+    const double ipc = gpu.collect().ipc[0];
+    aloneCache_.emplace(key, ipc);
+    return ipc;
+}
+
+PairResult
+Evaluator::evaluate(const GpuConfig &arch, DesignPoint point,
+                    const std::vector<std::string> &bench_names)
+{
+    PairResult result;
+    result.stats = runShared(arch, point, bench_names);
+    result.sharedIpc = result.stats.ipc;
+
+    const auto num_apps =
+        static_cast<std::uint32_t>(bench_names.size());
+    for (std::uint32_t a = 0; a < num_apps; ++a) {
+        result.aloneIpc.push_back(
+            aloneIpc(arch, point, bench_names[a],
+                     coreShareOf(arch, num_apps, a)));
+    }
+
+    result.weightedSpeedup =
+        weightedSpeedup(result.sharedIpc, result.aloneIpc);
+    result.ipcThroughput = ipcThroughput(result.sharedIpc);
+    result.unfairness = maxSlowdown(result.sharedIpc, result.aloneIpc);
+    return result;
+}
+
+PairResult
+searchBestPartition(Evaluator &eval, const GpuConfig &arch,
+                    DesignPoint point,
+                    const std::vector<std::string> &pair,
+                    std::uint32_t step)
+{
+    PairResult best;
+    bool have_best = false;
+    if (step == 0)
+        step = 1;
+    for (std::uint32_t s = step; s < arch.numCores; s += step) {
+        GpuConfig cfg = arch;
+        cfg.coreShares = {s, arch.numCores - s};
+        const PairResult result = eval.evaluate(cfg, point, pair);
+        if (!have_best ||
+            result.weightedSpeedup > best.weightedSpeedup) {
+            best = result;
+            have_best = true;
+        }
+    }
+    if (!have_best)
+        best = eval.evaluate(arch, point, pair);
+    return best;
+}
+
+} // namespace mask

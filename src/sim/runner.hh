@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Multi-programmed workload runner: builds a GPU for a workload and a
+ * design point, runs warmup + measurement windows, computes weighted
+ * speedup / IPC throughput / unfairness against cached alone runs
+ * (Section 6 methodology), and optionally searches core partitionings
+ * like the paper's oracle scheduler.
+ */
+
+#ifndef MASK_SIM_RUNNER_HH
+#define MASK_SIM_RUNNER_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "sim/gpu.hh"
+#include "workload/suite.hh"
+
+namespace mask {
+
+/** Simulation window sizes. */
+struct RunOptions
+{
+    Cycle warmup = 50000;
+    Cycle measure = 200000;
+};
+
+/**
+ * Default windows, honoring environment overrides:
+ * MASK_BENCH_CYCLES=<n> sets the measurement window, and
+ * MASK_BENCH_FAST=1 selects a short CI-friendly window.
+ */
+RunOptions defaultRunOptions();
+
+/** Result of one multi-application evaluation. */
+struct PairResult
+{
+    std::vector<double> sharedIpc;
+    std::vector<double> aloneIpc;
+    double weightedSpeedup = 0.0;
+    double ipcThroughput = 0.0;
+    double unfairness = 0.0;
+    GpuStats stats;
+};
+
+/** Runner with an alone-IPC cache shared across evaluations. */
+class Evaluator
+{
+  public:
+    explicit Evaluator(RunOptions options) : options_(options) {}
+
+    /**
+     * Run @p bench_names concurrently on @p arch at @p point and
+     * compute all Section 6 metrics. Alone IPCs use the same design
+     * point and the same per-application core count.
+     */
+    PairResult evaluate(const GpuConfig &arch, DesignPoint point,
+                        const std::vector<std::string> &bench_names);
+
+    /** Shared run only (no alone runs, no metrics). */
+    GpuStats runShared(const GpuConfig &arch, DesignPoint point,
+                       const std::vector<std::string> &bench_names);
+
+    /**
+     * IPC of @p bench running alone on @p cores cores of @p arch at
+     * @p point; memoized.
+     */
+    double aloneIpc(const GpuConfig &arch, DesignPoint point,
+                    const std::string &bench, std::uint32_t cores);
+
+    const RunOptions &options() const { return options_; }
+
+  private:
+    RunOptions options_;
+    std::map<std::string, double> aloneCache_;
+};
+
+/**
+ * Oracle-style static core partition search for a two-application
+ * workload (Section 6): tries splits in steps of @p step cores and
+ * returns the best weighted speedup found.
+ */
+PairResult searchBestPartition(Evaluator &eval, const GpuConfig &arch,
+                               DesignPoint point,
+                               const std::vector<std::string> &pair,
+                               std::uint32_t step);
+
+} // namespace mask
+
+#endif // MASK_SIM_RUNNER_HH

@@ -1,0 +1,102 @@
+#include "sim/time_mux.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/stats.hh"
+#include "sim/gpu.hh"
+
+namespace mask {
+
+double
+TimeMuxResult::overhead() const
+{
+    return safeDiv(static_cast<double>(muxCycles) -
+                       static_cast<double>(serialCycles),
+                   static_cast<double>(serialCycles));
+}
+
+namespace {
+
+/** Cycles for one process to complete its work alone on all cores. */
+Cycle
+serialTime(const GpuConfig &cfg, const BenchmarkParams &bench,
+           std::uint64_t work)
+{
+    Gpu gpu(cfg, {AppDesc{&bench}});
+    while (gpu.appInstructions(0) < work)
+        gpu.run(1000);
+    return gpu.now();
+}
+
+} // namespace
+
+TimeMuxResult
+runTimeMux(const GpuConfig &cfg, const BenchmarkParams &bench,
+           std::uint32_t processes, const TimeMuxOptions &options)
+{
+    TimeMuxResult result;
+    result.processes = processes;
+    result.serialCycles =
+        serialTime(cfg, bench, options.workPerProcess) * processes;
+
+    // Time-sliced execution: N identical processes, round-robin
+    // quanta across all cores.
+    std::vector<AppDesc> apps(processes, AppDesc{&bench});
+    Gpu gpu(cfg, apps);
+
+    const Cycle switch_cost =
+        options.switchBaseCost +
+        Cycle{options.switchPerProcessCost} * processes;
+
+    std::vector<bool> done(processes, false);
+    std::uint32_t remaining = processes;
+    AppId current = 0;
+
+    // Move all cores onto process 0 first (construction spreads them).
+    gpu.switchAllCores(current, 0);
+    while (gpu.switchesPending())
+        gpu.run(100);
+
+    while (remaining > 0) {
+        // Run the quantum in slices so a process that completes its
+        // work mid-quantum yields the GPU immediately.
+        Cycle ran = 0;
+        while (ran < options.quantum) {
+            const Cycle slice =
+                std::min<Cycle>(1000, options.quantum - ran);
+            gpu.run(slice);
+            ran += slice;
+            if (gpu.appInstructions(current) >=
+                options.workPerProcess) {
+                break;
+            }
+        }
+
+        if (!done[current] &&
+            gpu.appInstructions(current) >= options.workPerProcess) {
+            done[current] = true;
+            --remaining;
+            if (remaining == 0)
+                break;
+        }
+
+        // Next unfinished process, round-robin.
+        AppId next = current;
+        do {
+            next = static_cast<AppId>((next + 1) % processes);
+        } while (done[next]);
+
+        if (next != current) {
+            current = next;
+            gpu.switchAllCores(current, switch_cost);
+            while (gpu.switchesPending())
+                gpu.run(100);
+        }
+    }
+
+    result.muxCycles = gpu.now();
+    return result;
+}
+
+} // namespace mask

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Time-multiplexing model for the Fig. 1 experiment.
+ *
+ * The paper measures real K40/GTX1080 GPUs running 2..10 processes
+ * back-to-back vs. time-sliced. We model time slicing on the simulated
+ * GPU: all cores run one process per quantum, and each switch pays
+ * (1) a conservative drain of in-flight requests (Section 5.1),
+ * (2) a driver/runtime cost that grows with the number of resident
+ *     processes (context save/restore and scheduler bookkeeping), and
+ * (3) cold-start effects in the private L1 structures plus natural
+ *     thrashing of the shared L2/TLB by the other processes' quanta.
+ * See DESIGN.md substitution 2.
+ */
+
+#ifndef MASK_SIM_TIME_MUX_HH
+#define MASK_SIM_TIME_MUX_HH
+
+#include <cstdint>
+
+#include "common/config.hh"
+#include "common/types.hh"
+#include "workload/generator.hh"
+
+namespace mask {
+
+/** Time-multiplexing model parameters. */
+struct TimeMuxOptions
+{
+    /** Scheduling quantum in cycles. */
+    Cycle quantum = 20000;
+    /** Fixed per-switch driver/runtime cost. */
+    Cycle switchBaseCost = 1500;
+    /** Additional per-switch cost per resident process. */
+    Cycle switchPerProcessCost = 600;
+    /** Instructions each process must complete. */
+    std::uint64_t workPerProcess = 400000;
+};
+
+/** Result of one time-multiplexing experiment. */
+struct TimeMuxResult
+{
+    std::uint32_t processes = 0;
+    Cycle serialCycles = 0; //!< back-to-back execution
+    Cycle muxCycles = 0;    //!< time-sliced execution
+    /** (muxCycles - serialCycles) / serialCycles, the Fig. 1 metric. */
+    double overhead() const;
+};
+
+/**
+ * Run @p processes copies of @p bench, first back-to-back and then
+ * time-sliced, and report the execution-time overhead.
+ */
+TimeMuxResult runTimeMux(const GpuConfig &cfg,
+                         const BenchmarkParams &bench,
+                         std::uint32_t processes,
+                         const TimeMuxOptions &options);
+
+} // namespace mask
+
+#endif // MASK_SIM_TIME_MUX_HH

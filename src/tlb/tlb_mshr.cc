@@ -1,0 +1,104 @@
+#include "tlb/tlb_mshr.hh"
+
+#include <cassert>
+
+namespace mask {
+
+TlbMshrTable::TlbMshrTable(std::uint32_t entries) : entries_(entries) {}
+
+TlbMshrTable::Outcome
+TlbMshrTable::allocate(Asid asid, Vpn vpn, AppId app,
+                       const StalledAccess &access, Cycle now)
+{
+    const std::uint64_t key = tlbKey(asid, vpn);
+    if (app >= stalledPerApp_.size())
+        stalledPerApp_.resize(app + 1, 0);
+
+    auto it = table_.find(key);
+    if (it != table_.end()) {
+        Entry &entry = it->second;
+        entry.waiters.push_back(access);
+        entry.maxWarpsStalled = std::max(
+            entry.maxWarpsStalled,
+            static_cast<std::uint32_t>(entry.waiters.size()));
+        ++stalledWarps_;
+        ++stalledPerApp_[app];
+        return Outcome::Merged;
+    }
+
+    if (table_.size() >= entries_)
+        return Outcome::Full;
+
+    Entry entry;
+    entry.asid = asid;
+    entry.vpn = vpn;
+    entry.app = app;
+    entry.waiters.push_back(access);
+    entry.maxWarpsStalled = 1;
+    entry.firstMissCycle = now;
+    table_.emplace(key, std::move(entry));
+    ++stalledWarps_;
+    ++stalledPerApp_[app];
+    return Outcome::Allocated;
+}
+
+bool
+TlbMshrTable::has(Asid asid, Vpn vpn) const
+{
+    return table_.contains(tlbKey(asid, vpn));
+}
+
+TlbMshrTable::Entry &
+TlbMshrTable::get(Asid asid, Vpn vpn)
+{
+    auto it = table_.find(tlbKey(asid, vpn));
+    assert(it != table_.end());
+    return it->second;
+}
+
+TlbMshrTable::Entry
+TlbMshrTable::complete(Asid asid, Vpn vpn)
+{
+    auto it = table_.find(tlbKey(asid, vpn));
+    assert(it != table_.end() && "completing unknown TLB miss");
+    Entry entry = std::move(it->second);
+    table_.erase(it);
+
+    const auto waiters = static_cast<std::uint32_t>(entry.waiters.size());
+    assert(stalledWarps_ >= waiters);
+    stalledWarps_ -= waiters;
+    assert(entry.app < stalledPerApp_.size() &&
+           stalledPerApp_[entry.app] >= waiters);
+    stalledPerApp_[entry.app] -= waiters;
+
+    warpsPerMiss_.add(static_cast<double>(entry.maxWarpsStalled));
+    if (entry.app >= warpsPerMissPerApp_.size())
+        warpsPerMissPerApp_.resize(entry.app + 1);
+    warpsPerMissPerApp_[entry.app].add(
+        static_cast<double>(entry.maxWarpsStalled));
+    return entry;
+}
+
+const RunningStat &
+TlbMshrTable::warpsPerMissFor(AppId app)
+{
+    if (app >= warpsPerMissPerApp_.size())
+        warpsPerMissPerApp_.resize(app + 1);
+    return warpsPerMissPerApp_[app];
+}
+
+void
+TlbMshrTable::resetStats()
+{
+    warpsPerMiss_.reset();
+    for (auto &stat : warpsPerMissPerApp_)
+        stat.reset();
+}
+
+std::uint32_t
+TlbMshrTable::stalledWarpsFor(AppId app) const
+{
+    return app < stalledPerApp_.size() ? stalledPerApp_[app] : 0;
+}
+
+} // namespace mask

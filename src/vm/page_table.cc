@@ -1,0 +1,97 @@
+#include "vm/page_table.hh"
+
+#include <cassert>
+
+namespace mask {
+
+PageTable::PageTable(Asid asid, std::uint32_t page_bits,
+                     FrameAllocator &frames)
+    : asid_(asid), pageBits_(page_bits), frames_(frames)
+{
+    root_ = std::make_unique<Node>();
+    root_->frame = frames_.allocate();
+    ++nodeCount_;
+}
+
+std::uint32_t
+PageTable::levelIndex(Vpn vpn, std::uint32_t level) const
+{
+    assert(level >= 1 && level <= kPtLevels);
+    const std::uint32_t shift = (kPtLevels - level) * kPtBitsPerLevel;
+    return static_cast<std::uint32_t>(vpn >> shift) &
+           ((1u << kPtBitsPerLevel) - 1);
+}
+
+PageTable::Node *
+PageTable::walkToLeafNode(Vpn vpn, bool allocate)
+{
+    Node *node = root_.get();
+    // Levels 1..3 are interior; the level-4 node holds leaf PTEs.
+    for (std::uint32_t level = 1; level < kPtLevels; ++level) {
+        const std::uint32_t idx = levelIndex(vpn, level);
+        auto it = node->children.find(idx);
+        if (it == node->children.end()) {
+            if (!allocate)
+                return nullptr;
+            auto child = std::make_unique<Node>();
+            child->frame = frames_.allocate();
+            ++nodeCount_;
+            it = node->children.emplace(idx, std::move(child)).first;
+        }
+        node = it->second.get();
+    }
+    return node;
+}
+
+Pfn
+PageTable::mapPage(Vpn vpn)
+{
+    auto it = mapped_.find(vpn);
+    if (it != mapped_.end())
+        return it->second;
+
+    walkToLeafNode(vpn, true);
+    const Pfn pfn = frames_.allocate();
+    mapped_.emplace(vpn, pfn);
+    return pfn;
+}
+
+Pfn
+PageTable::lookup(Vpn vpn) const
+{
+    auto it = mapped_.find(vpn);
+    return it == mapped_.end() ? kInvalidPfn : it->second;
+}
+
+std::array<Addr, kPtLevels>
+PageTable::walkAddrs(Vpn vpn) const
+{
+    std::array<Addr, kPtLevels> addrs{};
+    const Node *node = root_.get();
+    for (std::uint32_t level = 1; level <= kPtLevels; ++level) {
+        assert(node != nullptr && "walkAddrs on unmapped vpn");
+        const std::uint32_t idx = levelIndex(vpn, level);
+        addrs[level - 1] =
+            frames_.frameAddr(node->frame) + Addr{idx} * kPteBytes;
+        if (level < kPtLevels) {
+            auto it = node->children.find(idx);
+            node = it == node->children.end() ? nullptr
+                                              : it->second.get();
+        }
+    }
+    return addrs;
+}
+
+Addr
+PageTable::rootAddr() const
+{
+    return frames_.frameAddr(root_->frame);
+}
+
+bool
+PageTable::unmapPage(Vpn vpn)
+{
+    return mapped_.erase(vpn) > 0;
+}
+
+} // namespace mask

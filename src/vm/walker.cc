@@ -1,0 +1,104 @@
+#include "vm/walker.hh"
+
+#include <cassert>
+
+namespace mask {
+
+PageTableWalker::PageTableWalker(const WalkerConfig &cfg) : cfg_(cfg)
+{
+    slots_.resize(cfg_.maxConcurrentWalks);
+    freeSlots_.reserve(cfg_.maxConcurrentWalks);
+    for (std::uint32_t i = 0; i < cfg_.maxConcurrentWalks; ++i)
+        freeSlots_.push_back(cfg_.maxConcurrentWalks - 1 - i);
+}
+
+WalkId
+PageTableWalker::startWalk(Asid asid, Vpn vpn, AppId app,
+                           const std::array<Addr, kPtLevels> &pte_addrs,
+                           Cycle now)
+{
+    assert(hasCapacity());
+    const WalkId id = freeSlots_.back();
+    freeSlots_.pop_back();
+
+    Slot &slot = slots_[id];
+    slot.info = WalkInfo{asid, vpn, app, now};
+    slot.pteAddrs = pte_addrs;
+    slot.level = 1;
+    slot.inUse = true;
+
+    if (app >= activePerApp_.size())
+        activePerApp_.resize(app + 1, 0);
+    ++activePerApp_[app];
+    ++active_;
+    ++started_;
+
+    fetchQueue_.push_back(id);
+    return id;
+}
+
+WalkId
+PageTableWalker::popPendingFetch()
+{
+    assert(!fetchQueue_.empty());
+    const WalkId id = fetchQueue_.front();
+    fetchQueue_.pop_front();
+    return id;
+}
+
+Addr
+PageTableWalker::fetchAddr(WalkId walk) const
+{
+    const Slot &slot = slots_[walk];
+    assert(slot.inUse);
+    return slot.pteAddrs[slot.level - 1];
+}
+
+std::uint8_t
+PageTableWalker::fetchLevel(WalkId walk) const
+{
+    assert(slots_[walk].inUse);
+    return slots_[walk].level;
+}
+
+bool
+PageTableWalker::fetchComplete(WalkId walk, Cycle now)
+{
+    Slot &slot = slots_[walk];
+    assert(slot.inUse);
+    if (slot.level == cfg_.levels) {
+        walkLatency_.add(
+            static_cast<double>(now - slot.info.startCycle));
+        return true;
+    }
+    ++slot.level;
+    fetchQueue_.push_back(walk);
+    return false;
+}
+
+const PageTableWalker::WalkInfo &
+PageTableWalker::info(WalkId walk) const
+{
+    assert(slots_[walk].inUse);
+    return slots_[walk].info;
+}
+
+void
+PageTableWalker::release(WalkId walk)
+{
+    Slot &slot = slots_[walk];
+    assert(slot.inUse);
+    slot.inUse = false;
+    assert(activePerApp_[slot.info.app] > 0 && active_ > 0);
+    --activePerApp_[slot.info.app];
+    --active_;
+    freeSlots_.push_back(walk);
+}
+
+std::uint32_t
+PageTableWalker::activeWalksFor(AppId app) const
+{
+    return app < activePerApp_.size() ? activePerApp_[app] : 0;
+}
+
+} // namespace mask

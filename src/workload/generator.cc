@@ -1,0 +1,119 @@
+#include "workload/generator.hh"
+
+#include <algorithm>
+
+namespace mask {
+
+namespace {
+
+/** SplitMix64 finalizer, used to derive shared gather pages. */
+std::uint64_t
+mix64(std::uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/** Pick the next page for a warp per the benchmark's mixture. */
+Vpn
+nextPage(const BenchmarkParams &params, Rng &rng, std::uint32_t group,
+         std::uint64_t pos)
+{
+    if (params.hotPages > 0 && rng.chance(params.hotFraction))
+        return rng.below(params.hotPages);
+
+    const std::uint64_t cold =
+        std::max<std::uint32_t>(1, params.coldPages);
+    const std::uint64_t stride =
+        std::max<std::uint32_t>(1, params.pageStride);
+    const std::uint64_t base =
+        (std::uint64_t{group} * 0x9E3779B1ull) % cold;
+
+    std::uint64_t offset;
+    if (params.randWindow == 0 || rng.chance(params.streamFraction)) {
+        offset = (base + pos * stride) % cold;
+    } else {
+        // Gather: one of the K random pages this stream's warps all
+        // target at this head position. Uniform over the cold set, so
+        // the translation is fresh (TLB and walk-cache cold) yet
+        // shared by the whole stream.
+        const std::uint64_t j = rng.below(params.randWindow);
+        offset = mix64((std::uint64_t{group} << 40) ^ (pos << 8) ^ j) %
+                 cold;
+    }
+    return params.hotPages + offset;
+}
+
+} // namespace
+
+Addr
+nextVaddr(const BenchmarkParams &params, WarpMemState &state, Rng &rng,
+          std::uint32_t warp_index, StreamTable &streams,
+          std::uint32_t page_bits, std::uint32_t line_bits,
+          bool *reused)
+{
+    if (reused != nullptr)
+        *reused = false;
+
+    const std::uint64_t lines_per_page = 1ull
+                                         << (page_bits - line_bits);
+
+    const std::uint32_t group =
+        warp_index / std::max<std::uint32_t>(1, params.blockWarps);
+    const std::uint64_t step =
+        std::max<std::uint32_t>(1, params.stepAccesses);
+    const std::uint64_t pos = streams.advance(group) / step;
+
+    // Warp-local reuse: the access repeats the previous line and is
+    // serviced from the warp's own registers/L1 — no address
+    // translation and no memory traffic. Checked before the page
+    // logic so it scales traffic independently of page-run length.
+    if (state.started && rng.chance(params.lineReuse)) {
+        if (reused != nullptr)
+            *reused = true;
+        const std::uint64_t line = state.lineCursor % lines_per_page;
+        return (static_cast<Addr>(state.page) << page_bits) |
+               (line << line_bits);
+    }
+
+    // Re-pick the page when the run expires or when the stream head
+    // advanced (SIMT lockstep: every warp of the stream moves on).
+    if (!state.started || state.runLeft == 0 ||
+        pos != state.lastPos) {
+        if (!state.started) {
+            // Random starting line: real warps work on different
+            // offsets of their data, so their line streams (and the
+            // DRAM channels those map to) are decorrelated. Without
+            // this, all warps march across channels in lockstep and
+            // serialize the memory system.
+            state.lineCursor = rng.next();
+        }
+        state.page = nextPage(params, rng, group, pos);
+        state.lastPos = pos;
+        // Small run jitter: keeps lines decorrelated without pulling
+        // stream members' page timing apart.
+        state.runLeft = static_cast<std::uint32_t>(
+            params.pageRun == 1 ? rng.below(2)
+                                : params.pageRun + rng.below(3));
+        state.started = true;
+    } else {
+        --state.runLeft;
+        ++state.lineCursor;
+    }
+
+    const std::uint64_t line = state.lineCursor % lines_per_page;
+    return (static_cast<Addr>(state.page) << page_bits) |
+           (line << line_bits);
+}
+
+std::uint32_t
+nextComputeInterval(const BenchmarkParams &params, Rng &rng)
+{
+    const std::uint64_t interval =
+        rng.geometric(std::max<std::uint32_t>(1, params.computeMean));
+    return static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(interval, 16ull * params.computeMean));
+}
+
+} // namespace mask

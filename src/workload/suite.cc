@@ -1,0 +1,176 @@
+#include "workload/suite.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mask {
+
+namespace {
+
+constexpr MissClass L = MissClass::Low;
+constexpr MissClass H = MissClass::High;
+
+/**
+ * Build the benchmark table. Parameters are chosen so each benchmark
+ * lands in its Table 2 quadrant (validated by bench/tab02) while
+ * giving the suite a spread of memory intensities and row-buffer
+ * localities:
+ *   - pageRun drives the L1 TLB miss rate (runs of accesses to one
+ *     page hit the per-core L1 TLB);
+ *   - coldPages drives the shared L2 TLB miss rate (4KB pages; 512
+ *     shared entries);
+ *   - hotPages/hotFraction create warp-shared translations (the
+ *     multi-warp-stall behaviour of Fig. 4);
+ *   - computeMean sets the compute-to-memory ratio;
+ *   - streamFraction sets DRAM row-buffer friendliness.
+ */
+std::vector<BenchmarkParams>
+buildSuite()
+{
+    std::vector<BenchmarkParams> suite;
+    auto add = [&suite](const char *name, std::uint32_t hot,
+                        std::uint32_t cold, double hot_frac,
+                        std::uint32_t run, double stream,
+                        std::uint32_t streams, std::uint32_t window,
+                        std::uint32_t stride, std::uint32_t step,
+                        std::uint32_t compute, std::uint32_t diverge,
+                        double line_reuse,
+                        MissClass l1, MissClass l2) {
+        BenchmarkParams p;
+        p.name = name;
+        p.hotPages = hot;
+        p.coldPages = cold;
+        p.hotFraction = hot_frac;
+        p.pageRun = run;
+        p.streamFraction = stream;
+        p.blockWarps = streams;
+        p.randWindow = window;
+        p.pageStride = stride;
+        p.stepAccesses = step;
+        p.computeMean = compute;
+        p.memDivergence = diverge;
+        p.lineReuse = line_reuse;
+        p.l1Class = l1;
+        p.l2Class = l2;
+        suite.push_back(p);
+    };
+
+    // --- Low L1 / Low L2 (dense kernels with tiny footprints) ---
+    add("LUD", 8, 112, 0.35, 48, 0.9, 64, 2, 1, 2600, 10, 1, 0.50, L, L);
+    add("NN", 12, 100, 0.30, 40, 0.8, 64, 2, 1, 3000, 12, 1, 0.50, L, L);
+
+    // --- Low L1 / High L2 (streaming over large footprints) ---
+    add("BFS2", 4, 786432, 0.05, 28, 0.80, 128, 5, 17, 900, 5, 1, 0.55, L, H);
+    add("FFT", 4, 524288, 0.05, 36, 0.85, 128, 4, 17, 1100, 6, 1, 0.55, L, H);
+    add("HISTO", 8, 393216, 0.10, 30, 0.82, 128, 5, 17, 950, 5, 1, 0.55, L, H);
+    add("NW", 4, 458752, 0.05, 44, 0.88, 128, 4, 17, 1250, 6, 1, 0.55, L, H);
+    add("QTC", 4, 589824, 0.05, 26, 0.80, 128, 5, 17, 850, 5, 1, 0.55, L, H);
+    add("RAY", 8, 655360, 0.08, 32, 0.82, 128, 5, 17, 1000, 6, 1, 0.55, L, H);
+    add("SAD", 4, 327680, 0.05, 38, 0.85, 128, 4, 17, 1150, 5, 1, 0.55, L, H);
+    add("SCP", 4, 425984, 0.05, 42, 0.85, 128, 4, 17, 1300, 6, 1, 0.55, L, H);
+    add("JPEG", 8, 360448, 0.08, 34, 0.83, 128, 4, 17, 1050, 5, 1, 0.55, L, H);
+
+    // --- High L1 / Low L2 (page-hopping over small footprints) ---
+    add("BP", 48, 160, 0.40, 1, 0.40, 64, 12, 1, 64, 3, 1, 0.50, H, L);
+    add("GUP", 32, 224, 0.45, 1, 0.10, 64, 256, 1, 60, 3, 2, 0.40, H, L);
+    add("HS", 40, 192, 0.35, 2, 0.40, 64, 12, 1, 72, 4, 1, 0.50, H, L);
+    add("LPS", 48, 176, 0.40, 2, 0.45, 64, 12, 1, 68, 3, 1, 0.50, H, L);
+
+    // --- High L1 / High L2 (irregular, large footprints) ---
+    add("3DS", 16, 393216, 0.08, 2, 0.50, 128, 24, 17, 300, 4, 4, 0.55, H, H);
+    add("BLK", 8, 262144, 0.06, 1, 0.45, 128, 26, 17, 280, 4, 4, 0.55, H, H);
+    add("CFD", 16, 524288, 0.08, 2, 0.50, 128, 24, 17, 320, 4, 4, 0.55, H, H);
+    add("CONS", 8, 327680, 0.06, 1, 0.52, 128, 24, 17, 290, 4, 4, 0.55, H, H);
+    add("FWT", 8, 294912, 0.06, 2, 0.55, 128, 20, 17, 310, 5, 4, 0.55, H, H);
+    add("LUH", 16, 458752, 0.08, 2, 0.50, 128, 24, 17, 330, 4, 4, 0.55, H, H);
+    add("MM", 24, 425984, 0.10, 2, 0.55, 128, 20, 17, 360, 5, 4, 0.55, H, H);
+    add("MUM", 8, 786432, 0.05, 1, 0.40, 128, 28, 17, 260, 4, 6, 0.55, H, H);
+    add("RED", 8, 262144, 0.06, 2, 0.58, 128, 20, 17, 350, 4, 4, 0.55, H, H);
+    add("SC", 16, 360448, 0.08, 1, 0.45, 128, 26, 17, 290, 4, 4, 0.55, H, H);
+    add("SCAN", 8, 294912, 0.06, 2, 0.58, 128, 20, 17, 355, 4, 4, 0.55, H, H);
+    add("SRAD", 16, 393216, 0.08, 2, 0.52, 128, 24, 17, 315, 5, 4, 0.55, H, H);
+    add("TRD", 8, 524288, 0.05, 1, 0.42, 128, 26, 17, 270, 4, 6, 0.55, H, H);
+    add("LIB", 8, 327680, 0.06, 2, 0.50, 128, 26, 17, 325, 5, 4, 0.55, H, H);
+    add("SPMV", 8, 589824, 0.05, 1, 0.40, 128, 28, 17, 275, 4, 6, 0.55, H, H);
+
+    return suite;
+}
+
+std::vector<WorkloadPair>
+buildPairs()
+{
+    // The 35 pairs of Fig. 8; hmr = number of High/High applications.
+    return {
+        {"3DS", "BP", 1},     {"3DS", "HISTO", 1},
+        {"BLK", "LPS", 1},    {"CFD", "MM", 2},
+        {"CONS", "LPS", 1},   {"CONS", "LUH", 2},
+        {"FWT", "BP", 1},     {"HISTO", "GUP", 0},
+        {"HISTO", "LPS", 0},  {"LUH", "BFS2", 1},
+        {"LUH", "GUP", 1},    {"MM", "CONS", 2},
+        {"MUM", "HISTO", 1},  {"NW", "HS", 0},
+        {"NW", "LPS", 0},     {"RAY", "GUP", 0},
+        {"RAY", "HS", 0},     {"RED", "BP", 1},
+        {"RED", "GUP", 1},    {"RED", "MM", 2},
+        {"RED", "RAY", 1},    {"RED", "SC", 2},
+        {"SCAN", "CONS", 2},  {"SCAN", "HISTO", 1},
+        {"SCAN", "SAD", 1},   {"SCAN", "SRAD", 2},
+        {"SCP", "GUP", 0},    {"SCP", "HS", 0},
+        {"SC", "FWT", 2},     {"SRAD", "3DS", 2},
+        {"TRD", "HS", 1},     {"TRD", "LPS", 1},
+        {"TRD", "MUM", 2},    {"TRD", "RAY", 1},
+        {"TRD", "RED", 2},
+    };
+}
+
+} // namespace
+
+const std::vector<BenchmarkParams> &
+benchmarkSuite()
+{
+    static const std::vector<BenchmarkParams> suite = buildSuite();
+    return suite;
+}
+
+const BenchmarkParams &
+findBenchmark(std::string_view name)
+{
+    for (const auto &params : benchmarkSuite()) {
+        if (name == params.name)
+            return params;
+    }
+    std::fprintf(stderr, "unknown benchmark: %.*s\n",
+                 static_cast<int>(name.size()), name.data());
+    std::abort();
+}
+
+const std::vector<WorkloadPair> &
+workloadPairs()
+{
+    static const std::vector<WorkloadPair> pairs = buildPairs();
+    return pairs;
+}
+
+std::vector<WorkloadPair>
+pairsWithHmr(int hmr)
+{
+    std::vector<WorkloadPair> out;
+    for (const auto &pair : workloadPairs()) {
+        if (pair.hmr == hmr)
+            out.push_back(pair);
+    }
+    return out;
+}
+
+const std::vector<WorkloadPair> &
+fig7Pairs()
+{
+    static const std::vector<WorkloadPair> pairs = {
+        {"3DS", "HISTO", 1},
+        {"CONS", "LPS", 1},
+        {"MUM", "HISTO", 1},
+        {"RED", "RAY", 1},
+    };
+    return pairs;
+}
+
+} // namespace mask

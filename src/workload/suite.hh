@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The benchmark suite: synthetic models of the 27 Table 2 benchmarks
+ * (plus JPEG/LIB/SPMV from Figs. 5-6), and the 35 two-application
+ * workloads of the paper's evaluation (Fig. 8 lists them), grouped by
+ * the n-HMR category of Section 6.
+ */
+
+#ifndef MASK_WORKLOAD_SUITE_HH
+#define MASK_WORKLOAD_SUITE_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "workload/generator.hh"
+
+namespace mask {
+
+/** All modeled benchmarks (30 entries). */
+const std::vector<BenchmarkParams> &benchmarkSuite();
+
+/** Look up a benchmark by name; aborts on unknown names. */
+const BenchmarkParams &findBenchmark(std::string_view name);
+
+/** One two-application workload. */
+struct WorkloadPair
+{
+    const char *first;
+    const char *second;
+    /** Applications with both L1 and L2 TLB miss rates high (0-2). */
+    int hmr;
+
+    std::string
+    name() const
+    {
+        return std::string(first) + "_" + second;
+    }
+};
+
+/** The 35 evaluated pairs, in the paper's Fig. 8 order. */
+const std::vector<WorkloadPair> &workloadPairs();
+
+/** Pairs in one n-HMR category (n = 0, 1, or 2). */
+std::vector<WorkloadPair> pairsWithHmr(int hmr);
+
+/** The four representative pairs of Fig. 7. */
+const std::vector<WorkloadPair> &fig7Pairs();
+
+} // namespace mask
+
+#endif // MASK_WORKLOAD_SUITE_HH

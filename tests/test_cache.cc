@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Unit and property tests for the set-associative cache directory.
+ */
+
+#include <algorithm>
+#include <list>
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "common/rng.hh"
+
+namespace mask {
+namespace {
+
+TEST(SetAssocCache, MissThenHit)
+{
+    SetAssocCache cache(4, 2);
+    EXPECT_FALSE(cache.lookup(100));
+    cache.fill(100, 7);
+    std::uint64_t payload = 0;
+    EXPECT_TRUE(cache.lookup(100, &payload));
+    EXPECT_EQ(payload, 7u);
+}
+
+TEST(SetAssocCache, ContainsDoesNotTouchLru)
+{
+    SetAssocCache cache(1, 2);
+    cache.fill(0);
+    cache.fill(1);
+    // 0 is LRU; contains() must not promote it.
+    EXPECT_TRUE(cache.contains(0));
+    cache.fill(2); // evicts 0 if contains didn't promote
+    EXPECT_FALSE(cache.contains(0));
+    EXPECT_TRUE(cache.contains(1));
+    EXPECT_TRUE(cache.contains(2));
+}
+
+TEST(SetAssocCache, LruEvictionOrder)
+{
+    SetAssocCache cache(1, 4);
+    for (std::uint64_t k = 0; k < 4; ++k)
+        cache.fill(k);
+    cache.lookup(0); // promote 0 to MRU
+    std::uint64_t evicted = ~0ull;
+    EXPECT_TRUE(cache.fill(100, 0, &evicted));
+    EXPECT_EQ(evicted, 1u); // 1 is now LRU
+    EXPECT_TRUE(cache.contains(0));
+}
+
+TEST(SetAssocCache, LruDepth)
+{
+    SetAssocCache cache(1, 4);
+    cache.fill(10);
+    cache.fill(20);
+    cache.fill(30);
+    EXPECT_EQ(cache.lruDepth(30), 0);
+    EXPECT_EQ(cache.lruDepth(20), 1);
+    EXPECT_EQ(cache.lruDepth(10), 2);
+    EXPECT_EQ(cache.lruDepth(99), -1);
+    cache.lookup(10);
+    EXPECT_EQ(cache.lruDepth(10), 0);
+}
+
+TEST(SetAssocCache, SetIndexingSeparatesSets)
+{
+    SetAssocCache cache(4, 1);
+    cache.fill(0); // set 0
+    cache.fill(1); // set 1
+    cache.fill(2); // set 2
+    EXPECT_TRUE(cache.contains(0));
+    EXPECT_TRUE(cache.contains(1));
+    EXPECT_TRUE(cache.contains(2));
+    cache.fill(4); // set 0 again -> evicts 0
+    EXPECT_FALSE(cache.contains(0));
+    EXPECT_TRUE(cache.contains(4));
+}
+
+TEST(SetAssocCache, RefillUpdatesPayloadInPlace)
+{
+    SetAssocCache cache(1, 2);
+    cache.fill(5, 1);
+    EXPECT_FALSE(cache.fill(5, 2)); // no eviction
+    std::uint64_t payload = 0;
+    cache.lookup(5, &payload);
+    EXPECT_EQ(payload, 2u);
+    EXPECT_EQ(cache.occupancy(), 1u);
+}
+
+TEST(SetAssocCache, FillRangeConfinesVictims)
+{
+    SetAssocCache cache(1, 4);
+    // App 0 owns ways [0,2), app 1 owns ways [2,4).
+    cache.fillRange(10, 0, 0, 2);
+    cache.fillRange(11, 0, 0, 2);
+    cache.fillRange(20, 0, 2, 4);
+    cache.fillRange(21, 0, 2, 4);
+    // A new app-0 fill must evict an app-0 key, never app-1 keys.
+    std::uint64_t evicted = ~0ull;
+    EXPECT_TRUE(cache.fillRange(12, 0, 0, 2, &evicted));
+    EXPECT_TRUE(evicted == 10 || evicted == 11);
+    EXPECT_TRUE(cache.contains(20));
+    EXPECT_TRUE(cache.contains(21));
+}
+
+TEST(SetAssocCache, EraseAndFlush)
+{
+    SetAssocCache cache(2, 2);
+    cache.fill(1);
+    cache.fill(2);
+    EXPECT_TRUE(cache.erase(1));
+    EXPECT_FALSE(cache.erase(1));
+    EXPECT_EQ(cache.occupancy(), 1u);
+    cache.flush();
+    EXPECT_EQ(cache.occupancy(), 0u);
+    EXPECT_FALSE(cache.contains(2));
+}
+
+TEST(SetAssocCache, FlushIf)
+{
+    SetAssocCache cache(1, 8);
+    for (std::uint64_t k = 0; k < 8; ++k)
+        cache.fill(k);
+    cache.flushIf([](std::uint64_t k) { return k % 2 == 0; });
+    EXPECT_EQ(cache.occupancy(), 4u);
+    EXPECT_FALSE(cache.contains(0));
+    EXPECT_TRUE(cache.contains(1));
+}
+
+TEST(SetAssocCache, OccupancyTracksFills)
+{
+    SetAssocCache cache(2, 2);
+    EXPECT_EQ(cache.occupancy(), 0u);
+    cache.fill(0);
+    cache.fill(2); // same set (set 0)
+    cache.fill(4); // evicts
+    EXPECT_EQ(cache.occupancy(), 2u);
+    cache.fill(1);
+    EXPECT_EQ(cache.occupancy(), 3u);
+}
+
+/**
+ * Property test: the cache must agree with a reference model (a map
+ * of per-set LRU lists) under a random operation mix.
+ */
+struct CacheShape
+{
+    std::uint32_t sets;
+    std::uint32_t ways;
+};
+
+class CacheProperty : public ::testing::TestWithParam<CacheShape>
+{
+};
+
+TEST_P(CacheProperty, MatchesReferenceLruModel)
+{
+    const auto [sets, ways] = GetParam();
+    SetAssocCache cache(sets, ways);
+    // Reference: per set, MRU-first list of keys.
+    std::vector<std::list<std::uint64_t>> ref(sets);
+    Rng rng(1234 + sets * 31 + ways);
+
+    auto set_of = [&](std::uint64_t key) { return key & (sets - 1); };
+    auto ref_find = [&](std::uint64_t key) {
+        auto &lst = ref[set_of(key)];
+        return std::find(lst.begin(), lst.end(), key);
+    };
+
+    for (int op = 0; op < 20000; ++op) {
+        const std::uint64_t key = rng.below(sets * ways * 3);
+        const std::uint64_t action = rng.below(10);
+        auto &lst = ref[set_of(key)];
+        if (action < 5) { // lookup
+            auto it = ref_find(key);
+            const bool ref_hit = it != lst.end();
+            EXPECT_EQ(cache.lookup(key), ref_hit);
+            if (ref_hit) {
+                lst.erase(it);
+                lst.push_front(key);
+            }
+        } else if (action < 9) { // fill
+            cache.fill(key);
+            auto it = ref_find(key);
+            if (it != lst.end())
+                lst.erase(it);
+            else if (lst.size() == ways)
+                lst.pop_back();
+            lst.push_front(key);
+        } else { // erase
+            auto it = ref_find(key);
+            EXPECT_EQ(cache.erase(key), it != lst.end());
+            if (it != lst.end())
+                lst.erase(it);
+        }
+    }
+
+    // Final state agrees exactly.
+    std::size_t ref_total = 0;
+    for (std::uint32_t s = 0; s < sets; ++s) {
+        for (std::uint64_t key : ref[s]) {
+            EXPECT_TRUE(cache.contains(key))
+                << "missing key " << key << " in set " << s;
+        }
+        ref_total += ref[s].size();
+    }
+    EXPECT_EQ(cache.occupancy(), ref_total);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CacheProperty,
+    ::testing::Values(CacheShape{1, 1}, CacheShape{1, 4},
+                      CacheShape{1, 32}, CacheShape{4, 2},
+                      CacheShape{16, 4}, CacheShape{64, 16},
+                      CacheShape{128, 1}));
+
+} // namespace
+} // namespace mask

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Edge-configuration and failure-injection tests: degenerate GPU
+ * shapes, tiny structural resources that force every retry/backpressure
+ * path, and full-drain conservation of in-flight requests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/gpu.hh"
+#include "workload/suite.hh"
+
+namespace mask {
+namespace {
+
+BenchmarkParams
+stressBench()
+{
+    BenchmarkParams p;
+    p.name = "stress";
+    p.hotPages = 2;
+    p.coldPages = 20000;
+    p.hotFraction = 0.05;
+    p.pageRun = 1;
+    p.streamFraction = 0.4;
+    p.blockWarps = 8;
+    p.randWindow = 8;
+    p.stepAccesses = 16;
+    p.computeMean = 2;
+    p.memDivergence = 4;
+    p.lineReuse = 0.1;
+    return p;
+}
+
+GpuConfig
+tinyGpu()
+{
+    GpuConfig cfg;
+    cfg.numCores = 2;
+    cfg.warpsPerCore = 8;
+    cfg.l2 = CacheConfig{64 * 1024, 128, 4, 10, 2, 1, 16};
+    cfg.l2Tlb = TlbConfig{64, 4, 10, 1, 16};
+    cfg.dram.channels = 1;
+    cfg.mask.epochCycles = 1000;
+    return cfg;
+}
+
+TEST(EdgeCases, OneCoreOneWarp)
+{
+    GpuConfig cfg = tinyGpu();
+    cfg.numCores = 1;
+    cfg.warpsPerCore = 1;
+    const BenchmarkParams bench = stressBench();
+    Gpu gpu(cfg, {AppDesc{&bench}});
+    gpu.run(20000);
+    EXPECT_GT(gpu.appInstructions(0), 100u);
+}
+
+TEST(EdgeCases, SingleWalkerThreadSerializesWalks)
+{
+    GpuConfig cfg = tinyGpu();
+    cfg.walker.maxConcurrentWalks = 1;
+    const BenchmarkParams bench = stressBench();
+    Gpu gpu(cfg, {AppDesc{&bench}});
+    gpu.run(30000);
+    const GpuStats stats = gpu.collect();
+    EXPECT_GT(stats.walks, 0u);
+    EXPECT_LE(stats.concurrentWalks.maxVal, 1.0);
+    EXPECT_GT(gpu.appInstructions(0), 0u);
+}
+
+TEST(EdgeCases, TinyTlbMshrForcesRetriesButProgresses)
+{
+    GpuConfig cfg = tinyGpu();
+    cfg.l2Tlb.mshrs = 2;
+    const BenchmarkParams bench = stressBench();
+    Gpu gpu(cfg, {AppDesc{&bench}, AppDesc{&bench}});
+    gpu.run(30000);
+    EXPECT_GT(gpu.appInstructions(0), 0u);
+    EXPECT_GT(gpu.appInstructions(1), 0u);
+    EXPECT_GT(gpu.collect().walks, 0u);
+}
+
+TEST(EdgeCases, TinyL2MshrForcesRetriesButProgresses)
+{
+    GpuConfig cfg = tinyGpu();
+    cfg.l2.mshrs = 2;
+    const BenchmarkParams bench = stressBench();
+    Gpu gpu(cfg, {AppDesc{&bench}});
+    gpu.run(30000);
+    EXPECT_GT(gpu.appInstructions(0), 0u);
+}
+
+TEST(EdgeCases, TinyDramQueuesForceRetriesButProgress)
+{
+    GpuConfig cfg = tinyGpu();
+    cfg.dram.queueEntries = 2;
+    cfg.mask.goldenQueueEntries = 1;
+    cfg.mask.silverQueueEntries = 1;
+    cfg.mask.normalQueueEntries = 2;
+    const BenchmarkParams bench = stressBench();
+    for (const DesignPoint point :
+         {DesignPoint::SharedTlb, DesignPoint::Mask}) {
+        Gpu gpu(applyDesignPoint(cfg, point),
+                {AppDesc{&bench}, AppDesc{&bench}});
+        gpu.run(30000);
+        EXPECT_GT(gpu.appInstructions(0), 0u)
+            << designPointName(point);
+    }
+}
+
+TEST(EdgeCases, MinimalWorkingSet)
+{
+    GpuConfig cfg = tinyGpu();
+    BenchmarkParams bench = stressBench();
+    bench.hotPages = 0;
+    bench.hotFraction = 0.0;
+    bench.coldPages = 1;
+    Gpu gpu(cfg, {AppDesc{&bench}});
+    gpu.run(10000);
+    EXPECT_GT(gpu.appInstructions(0), 0u);
+    EXPECT_EQ(gpu.pageTable(0).mappedPages(), 1u);
+}
+
+TEST(EdgeCases, DivergenceIsCappedAtMaxParts)
+{
+    GpuConfig cfg = tinyGpu();
+    BenchmarkParams bench = stressBench();
+    bench.memDivergence = 100; // > IssuedAccess::kMaxParts
+    Gpu gpu(cfg, {AppDesc{&bench}});
+    gpu.run(5000);
+    EXPECT_GT(gpu.appInstructions(0), 0u);
+}
+
+TEST(EdgeCases, ThreeAppsUnevenShares)
+{
+    GpuConfig cfg = tinyGpu();
+    cfg.numCores = 5;
+    cfg.coreShares = {3, 1, 1};
+    const BenchmarkParams bench = stressBench();
+    Gpu gpu(cfg, {AppDesc{&bench}, AppDesc{&bench}, AppDesc{&bench}});
+    EXPECT_EQ(gpu.coresOf(0).size(), 3u);
+    gpu.run(20000);
+    EXPECT_GT(gpu.appInstructions(0), gpu.appInstructions(1));
+    EXPECT_GT(gpu.appInstructions(2), 0u);
+}
+
+TEST(EdgeCases, DrainConservation)
+{
+    // After draining every core (no new issues), all in-flight
+    // requests must eventually complete: nothing leaks, nothing is
+    // lost in any queue.
+    GpuConfig cfg = tinyGpu();
+    const BenchmarkParams bench = stressBench();
+    for (const DesignPoint point :
+         {DesignPoint::PwCache, DesignPoint::SharedTlb,
+          DesignPoint::Mask}) {
+        Gpu gpu(applyDesignPoint(cfg, point),
+                {AppDesc{&bench}, AppDesc{&bench}});
+        gpu.run(10000);
+        for (CoreId c = 0; c < gpu.numCores(); ++c)
+            gpu.core(c).startDrain();
+        int guard = 0;
+        bool drained = false;
+        while (guard++ < 2000) {
+            gpu.run(100);
+            drained = true;
+            for (CoreId c = 0; c < gpu.numCores(); ++c)
+                drained &= gpu.core(c).drained();
+            if (drained && gpu.inFlightRequests() == 0)
+                break;
+        }
+        EXPECT_TRUE(drained) << designPointName(point);
+        EXPECT_EQ(gpu.inFlightRequests(), 0u)
+            << designPointName(point)
+            << ": requests leaked in the memory hierarchy";
+        EXPECT_EQ(gpu.walker().activeWalks(), 0u)
+            << designPointName(point);
+        EXPECT_EQ(gpu.tlbMshr().size(), 0u) << designPointName(point);
+    }
+}
+
+TEST(EdgeCases, RepeatedSwitchingSurvives)
+{
+    GpuConfig cfg = tinyGpu();
+    const BenchmarkParams bench = stressBench();
+    Gpu gpu(cfg, {AppDesc{&bench}, AppDesc{&bench}});
+    for (int round = 0; round < 6; ++round) {
+        gpu.switchAllCores(static_cast<AppId>(round % 2), 50);
+        int guard = 0;
+        while (gpu.switchesPending() && guard++ < 1000)
+            gpu.run(50);
+        EXPECT_FALSE(gpu.switchesPending());
+        gpu.run(2000);
+    }
+    EXPECT_GT(gpu.appInstructions(0) + gpu.appInstructions(1),
+              1000u);
+}
+
+TEST(EdgeCases, SingleL2TlbPortStillProgresses)
+{
+    GpuConfig cfg = tinyGpu();
+    cfg.l2Tlb.ports = 1;
+    cfg.l2Tlb.latency = 40;
+    const BenchmarkParams bench = stressBench();
+    Gpu gpu(cfg, {AppDesc{&bench}});
+    gpu.run(20000);
+    EXPECT_GT(gpu.collect().l2Tlb.accesses(), 0u);
+}
+
+TEST(EdgeCases, ManyAppsOnFewCores)
+{
+    GpuConfig cfg = tinyGpu();
+    cfg.numCores = 4;
+    const BenchmarkParams bench = stressBench();
+    std::vector<AppDesc> apps(4, AppDesc{&bench});
+    Gpu gpu(cfg, apps);
+    gpu.run(20000);
+    for (AppId a = 0; a < 4; ++a)
+        EXPECT_GT(gpu.appInstructions(a), 0u) << "app " << a;
+}
+
+} // namespace
+} // namespace mask

@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Unit tests for the three MASK mechanisms' building blocks: TLB-Fill
+ * Tokens, the TLB bypass cache, the L2 bypass policy, the Equation 1
+ * silver quota, and the storage-cost accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/config.hh"
+#include "mask/bypass_cache.hh"
+#include "mask/dram_sched.hh"
+#include "mask/l2_bypass.hh"
+#include "mask/storage_cost.hh"
+#include "mask/tokens.hh"
+
+namespace mask {
+namespace {
+
+MaskConfig
+maskCfg()
+{
+    MaskConfig cfg;
+    cfg.tlbTokens = true;
+    cfg.l2Bypass = true;
+    cfg.dramSched = true;
+    return cfg;
+}
+
+// ---------------------------------------------------------------------
+// TokenManager (Section 5.2)
+// ---------------------------------------------------------------------
+
+TEST(Tokens, InitialAllocationIsFractionOfWarps)
+{
+    TokenManager tokens(maskCfg(), 2, 1000);
+    EXPECT_EQ(tokens.tokens(0), 800u);
+    EXPECT_EQ(tokens.tokens(1), 800u);
+}
+
+TEST(Tokens, EveryWarpFillsDuringFirstEpoch)
+{
+    TokenManager tokens(maskCfg(), 1, 100);
+    EXPECT_TRUE(tokens.mayFill(0, 99));
+    tokens.epochComplete();
+    EXPECT_FALSE(tokens.mayFill(0, 99));
+    EXPECT_TRUE(tokens.mayFill(0, 79));
+}
+
+TEST(Tokens, LowestWarpIndicesHoldTokens)
+{
+    TokenManager tokens(maskCfg(), 1, 100);
+    tokens.epochComplete();
+    const std::uint32_t n = tokens.tokens(0);
+    EXPECT_TRUE(tokens.mayFill(0, 0));
+    EXPECT_TRUE(tokens.mayFill(0, n - 1));
+    EXPECT_FALSE(tokens.mayFill(0, n));
+}
+
+TEST(Tokens, RisingMissRateShrinksTokens)
+{
+    TokenManager tokens(maskCfg(), 1, 100);
+    tokens.onEpoch(0, 0.50); // baseline sample
+    const std::uint32_t before = tokens.tokens(0);
+    tokens.onEpoch(0, 0.60); // +10% > 2% threshold
+    EXPECT_LT(tokens.tokens(0), before);
+    EXPECT_EQ(tokens.lastDirection(0), -1);
+}
+
+TEST(Tokens, FallingMissRateGrowsTokens)
+{
+    TokenManager tokens(maskCfg(), 1, 100);
+    tokens.onEpoch(0, 0.50);
+    tokens.onEpoch(0, 0.60); // shrink
+    const std::uint32_t shrunk = tokens.tokens(0);
+    tokens.onEpoch(0, 0.40); // big drop -> grow
+    EXPECT_GT(tokens.tokens(0), shrunk);
+    EXPECT_EQ(tokens.lastDirection(0), +1);
+}
+
+TEST(Tokens, SmallChangeHolds)
+{
+    TokenManager tokens(maskCfg(), 1, 100);
+    tokens.onEpoch(0, 0.50);
+    const std::uint32_t before = tokens.tokens(0);
+    tokens.onEpoch(0, 0.51); // within the 2% dead zone
+    EXPECT_EQ(tokens.tokens(0), before);
+    EXPECT_EQ(tokens.lastDirection(0), 0);
+}
+
+TEST(Tokens, BoundedBelowAndAbove)
+{
+    TokenManager tokens(maskCfg(), 1, 100);
+    double rate = 0.1;
+    tokens.onEpoch(0, rate);
+    for (int i = 0; i < 100; ++i)
+        tokens.onEpoch(0, rate += 0.05); // keeps rising
+    EXPECT_GE(tokens.tokens(0), 1u);
+    TokenManager grow(maskCfg(), 1, 100);
+    rate = 0.9;
+    grow.onEpoch(0, rate);
+    for (int i = 0; i < 100; ++i)
+        grow.onEpoch(0, rate = std::max(0.0, rate - 0.05));
+    EXPECT_LE(grow.tokens(0), 100u);
+}
+
+TEST(Tokens, AppsAdjustIndependently)
+{
+    TokenManager tokens(maskCfg(), 2, 100);
+    tokens.onEpoch(0, 0.5);
+    tokens.onEpoch(1, 0.5);
+    tokens.onEpoch(0, 0.8);
+    tokens.onEpoch(1, 0.2);
+    EXPECT_LT(tokens.tokens(0), tokens.tokens(1));
+}
+
+// ---------------------------------------------------------------------
+// TlbBypassCache (Section 5.2)
+// ---------------------------------------------------------------------
+
+TEST(BypassCache, FillLookupFlush)
+{
+    TlbBypassCache cache(maskCfg());
+    EXPECT_EQ(cache.entries(), 32u);
+    Pfn pfn = 0;
+    EXPECT_FALSE(cache.lookup(1, 10, &pfn));
+    cache.fill(1, 10, 99);
+    EXPECT_TRUE(cache.lookup(1, 10, &pfn));
+    EXPECT_EQ(pfn, 99u);
+    cache.flush();
+    EXPECT_FALSE(cache.probe(1, 10));
+}
+
+TEST(BypassCache, LruAtCapacity)
+{
+    TlbBypassCache cache(maskCfg());
+    for (Vpn v = 0; v < 32; ++v)
+        cache.fill(1, v, v);
+    cache.lookup(1, 0); // refresh
+    cache.fill(1, 100, 100);
+    EXPECT_TRUE(cache.probe(1, 0));
+    EXPECT_FALSE(cache.probe(1, 1));
+}
+
+TEST(BypassCache, AsidFlush)
+{
+    TlbBypassCache cache(maskCfg());
+    cache.fill(1, 5, 1);
+    cache.fill(2, 5, 2);
+    cache.flushAsid(1);
+    EXPECT_FALSE(cache.probe(1, 5));
+    EXPECT_TRUE(cache.probe(2, 5));
+}
+
+// ---------------------------------------------------------------------
+// L2BypassPolicy (Section 5.3)
+// ---------------------------------------------------------------------
+
+TEST(L2Bypass, DataNeverBypasses)
+{
+    L2BypassPolicy policy(maskCfg());
+    for (int i = 0; i < 1000; ++i)
+        policy.recordAccess(0, false);
+    EXPECT_FALSE(policy.shouldBypass(0));
+}
+
+TEST(L2Bypass, RequiresMinimumSamples)
+{
+    L2BypassPolicy policy(maskCfg());
+    policy.recordAccess(0, true); // data hit rate 100%
+    for (std::uint32_t i = 0; i < 10; ++i)
+        policy.recordAccess(4, false);
+    EXPECT_FALSE(policy.shouldBypass(4))
+        << "must not bypass before minBypassSamples";
+}
+
+TEST(L2Bypass, BypassesLowHitLevels)
+{
+    L2BypassPolicy policy(maskCfg());
+    for (int i = 0; i < 100; ++i) {
+        policy.recordAccess(0, i % 2 == 0); // data: 50%
+        policy.recordAccess(4, false);      // level 4: 0%
+        policy.recordAccess(1, true);       // level 1: 100%
+    }
+    EXPECT_FALSE(policy.shouldBypass(1));
+    int bypassed = 0;
+    for (int i = 0; i < 100; ++i)
+        bypassed += policy.shouldBypass(4);
+    EXPECT_GT(bypassed, 90);
+    EXPECT_LT(bypassed, 100) << "sampler probes must slip through";
+}
+
+TEST(L2Bypass, SamplerKeepsEstimateAlive)
+{
+    MaskConfig cfg = maskCfg();
+    cfg.sampleProbeInterval = 4;
+    L2BypassPolicy policy(cfg);
+    for (int i = 0; i < 100; ++i) {
+        policy.recordAccess(0, true);
+        policy.recordAccess(4, false);
+    }
+    // Cycle length is interval + 1: one probe, then `interval`
+    // bypasses.
+    int probes = 0;
+    for (int i = 0; i < 100; ++i)
+        probes += !policy.shouldBypass(4);
+    EXPECT_NEAR(probes, 20, 2);
+}
+
+TEST(L2Bypass, EpochDecayPreservesRates)
+{
+    L2BypassPolicy policy(maskCfg());
+    for (int i = 0; i < 100; ++i)
+        policy.recordAccess(3, i % 4 == 0); // 25%
+    const double before = policy.hitRate(3);
+    policy.onEpoch();
+    EXPECT_NEAR(policy.hitRate(3), before, 0.02);
+    // 25 hits and 75 misses halve (integer division) to 12 + 37.
+    EXPECT_EQ(policy.stats(3).accesses(), 49u);
+}
+
+TEST(L2Bypass, AdaptsWhenBehaviourImproves)
+{
+    MaskConfig cfg = maskCfg();
+    cfg.sampleProbeInterval = 2;
+    L2BypassPolicy policy(cfg);
+    for (int i = 0; i < 200; ++i) {
+        policy.recordAccess(0, i % 2 == 0); // data 50%
+        policy.recordAccess(4, false);
+    }
+    EXPECT_GT(policy.hitRate(0), policy.hitRate(4));
+    // Behaviour changes: level 4 starts hitting; decay + samplers
+    // must eventually lift the bypass.
+    for (int epoch = 0; epoch < 12; ++epoch) {
+        policy.onEpoch();
+        for (int i = 0; i < 200; ++i) {
+            if (!policy.shouldBypass(4))
+                policy.recordAccess(4, true);
+        }
+    }
+    EXPECT_FALSE(policy.shouldBypass(4));
+}
+
+// ---------------------------------------------------------------------
+// SilverQuotaController (Equation 1)
+// ---------------------------------------------------------------------
+
+TEST(SilverQuota, EvenSplitWithoutSamples)
+{
+    SilverQuotaController quota(maskCfg(), 4);
+    EXPECT_EQ(quota.silverQuota(0), 125u); // threshMax 500 / 4
+}
+
+TEST(SilverQuota, ProportionalToPressureProduct)
+{
+    SilverQuotaController quota(maskCfg(), 2);
+    quota.sample(0, 30, 20); // weight 600
+    quota.sample(1, 10, 20); // weight 200
+    EXPECT_EQ(quota.silverQuota(0), 375u); // 500 * 600/800
+    EXPECT_EQ(quota.silverQuota(1), 125u);
+}
+
+TEST(SilverQuota, AccumulatesAcrossSamples)
+{
+    SilverQuotaController quota(maskCfg(), 2);
+    quota.sample(0, 10, 10);
+    quota.sample(0, 10, 10);
+    quota.sample(1, 20, 10);
+    EXPECT_DOUBLE_EQ(quota.pressure(0), 200.0);
+    EXPECT_DOUBLE_EQ(quota.pressure(1), 200.0);
+    EXPECT_EQ(quota.silverQuota(0), quota.silverQuota(1));
+}
+
+TEST(SilverQuota, EpochResets)
+{
+    SilverQuotaController quota(maskCfg(), 2);
+    quota.sample(0, 50, 50);
+    quota.onEpoch();
+    EXPECT_DOUBLE_EQ(quota.pressure(0), 0.0);
+    EXPECT_EQ(quota.silverQuota(0), 250u);
+}
+
+TEST(SilverQuota, NeverZero)
+{
+    SilverQuotaController quota(maskCfg(), 2);
+    quota.sample(1, 100, 100);
+    EXPECT_GE(quota.silverQuota(0), 1u);
+}
+
+// ---------------------------------------------------------------------
+// StorageCost (Section 7.4)
+// ---------------------------------------------------------------------
+
+TEST(StorageCost, AsidBitsMatchPaper)
+{
+    const GpuConfig cfg = GpuConfig{};
+    const StorageCost cost = computeStorageCost(cfg);
+    EXPECT_EQ(cost.asidBitsPerL2TlbEntry, 9u);
+    EXPECT_EQ(cost.asidTotalBits, 9u * 512);
+}
+
+TEST(StorageCost, DramQueueOverheadIsSmall)
+{
+    const StorageCost cost = computeStorageCost(GpuConfig{});
+    // Golden 16 + Silver 64 + Normal 192 = 272 vs 256 baseline ~ 6%.
+    EXPECT_NEAR(cost.dramQueueOverheadFraction(), 0.0625, 0.001);
+}
+
+TEST(StorageCost, OverheadFractionsAreSmall)
+{
+    const GpuConfig cfg = GpuConfig{};
+    const StorageCost cost = computeStorageCost(cfg);
+    EXPECT_LT(cost.l2CacheOverheadFraction(cfg), 0.002);
+    EXPECT_LT(cost.l1TlbOverheadFraction(cfg), 0.10);
+    EXPECT_GT(cost.totalBits(), 0u);
+}
+
+TEST(StorageCost, ReportMentionsEveryMechanism)
+{
+    const GpuConfig cfg = GpuConfig{};
+    const std::string report = computeStorageCost(cfg).report(cfg);
+    EXPECT_NE(report.find("ASID"), std::string::npos);
+    EXPECT_NE(report.find("Tokens"), std::string::npos);
+    EXPECT_NE(report.find("bypass"), std::string::npos);
+    EXPECT_NE(report.find("DRAM"), std::string::npos);
+}
+
+} // namespace
+} // namespace mask

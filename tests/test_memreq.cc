@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Unit tests for the in-flight memory request pool.
+ */
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/memreq.hh"
+
+namespace mask {
+namespace {
+
+TEST(RequestPool, AllocGivesFreshRequest)
+{
+    RequestPool pool;
+    const ReqId id = pool.alloc();
+    EXPECT_TRUE(pool[id].live);
+    EXPECT_EQ(pool[id].paddr, 0u);
+    EXPECT_EQ(pool[id].type, ReqType::Data);
+    EXPECT_EQ(pool.liveCount(), 1u);
+}
+
+TEST(RequestPool, ReleaseRecyclesSlots)
+{
+    RequestPool pool;
+    const ReqId a = pool.alloc();
+    pool[a].paddr = 0xdead;
+    pool.release(a);
+    EXPECT_EQ(pool.liveCount(), 0u);
+    const ReqId b = pool.alloc();
+    EXPECT_EQ(b, a) << "freed slot should be reused";
+    EXPECT_EQ(pool[b].paddr, 0u) << "recycled request must be reset";
+}
+
+TEST(RequestPool, DistinctLiveIds)
+{
+    RequestPool pool;
+    std::set<ReqId> ids;
+    for (int i = 0; i < 100; ++i)
+        ids.insert(pool.alloc());
+    EXPECT_EQ(ids.size(), 100u);
+    EXPECT_EQ(pool.liveCount(), 100u);
+    EXPECT_GE(pool.capacity(), 100u);
+}
+
+TEST(RequestPool, InterleavedAllocRelease)
+{
+    RequestPool pool;
+    std::vector<ReqId> live;
+    for (int round = 0; round < 50; ++round) {
+        for (int i = 0; i < 4; ++i)
+            live.push_back(pool.alloc());
+        pool.release(live.back());
+        live.pop_back();
+        pool.release(live.front());
+        live.erase(live.begin());
+    }
+    EXPECT_EQ(pool.liveCount(), live.size());
+    // Capacity stays bounded by the peak live count.
+    EXPECT_LE(pool.capacity(), 2 * live.size() + 8);
+    for (const ReqId id : live)
+        EXPECT_TRUE(pool[id].live);
+}
+
+TEST(RequestPool, FieldsRoundTrip)
+{
+    RequestPool pool;
+    const ReqId id = pool.alloc();
+    MemRequest &req = pool[id];
+    req.paddr = 0x1234560;
+    req.asid = 3;
+    req.app = 1;
+    req.core = 7;
+    req.warp = 42;
+    req.type = ReqType::Translation;
+    req.origin = ReqOrigin::PageWalk;
+    req.pwLevel = 4;
+    req.walkId = 17;
+    req.bypassL2 = true;
+
+    const MemRequest &read = pool[id];
+    EXPECT_EQ(read.paddr, 0x1234560u);
+    EXPECT_EQ(read.asid, 3);
+    EXPECT_EQ(read.app, 1);
+    EXPECT_EQ(read.core, 7);
+    EXPECT_EQ(read.warp, 42);
+    EXPECT_EQ(read.type, ReqType::Translation);
+    EXPECT_EQ(read.origin, ReqOrigin::PageWalk);
+    EXPECT_EQ(read.pwLevel, 4);
+    EXPECT_EQ(read.walkId, 17u);
+    EXPECT_TRUE(read.bypassL2);
+}
+
+} // namespace
+} // namespace mask

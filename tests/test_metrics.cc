@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Unit tests for the multi-programmed workload metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "metrics/metrics.hh"
+
+namespace mask {
+namespace {
+
+TEST(Metrics, WeightedSpeedupIdenticalIpc)
+{
+    EXPECT_DOUBLE_EQ(weightedSpeedup({2.0, 3.0}, {2.0, 3.0}), 2.0);
+}
+
+TEST(Metrics, WeightedSpeedupHalved)
+{
+    EXPECT_DOUBLE_EQ(weightedSpeedup({1.0, 1.5}, {2.0, 3.0}), 1.0);
+}
+
+TEST(Metrics, WeightedSpeedupZeroAloneIsSafe)
+{
+    EXPECT_DOUBLE_EQ(weightedSpeedup({1.0}, {0.0}), 0.0);
+}
+
+TEST(Metrics, IpcThroughputIsSum)
+{
+    EXPECT_DOUBLE_EQ(ipcThroughput({1.0, 2.5, 0.5}), 4.0);
+    EXPECT_DOUBLE_EQ(ipcThroughput({}), 0.0);
+}
+
+TEST(Metrics, MaxSlowdownPicksWorstApp)
+{
+    // App 0 slows 2x, app 1 slows 4x -> unfairness 4.
+    EXPECT_DOUBLE_EQ(maxSlowdown({1.0, 0.5}, {2.0, 2.0}), 4.0);
+}
+
+TEST(Metrics, MaxSlowdownOneWhenUnchanged)
+{
+    EXPECT_DOUBLE_EQ(maxSlowdown({2.0, 3.0}, {2.0, 3.0}), 1.0);
+}
+
+TEST(Metrics, HarmonicSpeedup)
+{
+    // Slowdowns 2 and 2 -> harmonic speedup 2 / (2 + 2) = 0.5.
+    EXPECT_DOUBLE_EQ(harmonicSpeedup({1.0, 1.0}, {2.0, 2.0}), 0.5);
+    EXPECT_DOUBLE_EQ(harmonicSpeedup({2.0}, {2.0}), 1.0);
+}
+
+TEST(Metrics, ThreeAppWeightedSpeedup)
+{
+    EXPECT_NEAR(weightedSpeedup({1.0, 2.0, 3.0}, {2.0, 2.0, 3.0}),
+                0.5 + 1.0 + 1.0, 1e-12);
+}
+
+} // namespace
+} // namespace mask

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Unit tests for the MSHR table and the banked latency pipes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/bank_model.hh"
+#include "cache/mshr.hh"
+
+namespace mask {
+namespace {
+
+TEST(MshrTable, AllocateThenMerge)
+{
+    MshrTable mshr(4);
+    EXPECT_EQ(mshr.allocate(10, 1), MshrTable::Outcome::Allocated);
+    EXPECT_EQ(mshr.allocate(10, 2), MshrTable::Outcome::Merged);
+    EXPECT_EQ(mshr.allocate(10, 3), MshrTable::Outcome::Merged);
+    EXPECT_EQ(mshr.size(), 1u);
+    EXPECT_EQ(mshr.merges(), 2u);
+}
+
+TEST(MshrTable, CompleteReturnsWaitersInOrder)
+{
+    MshrTable mshr(4);
+    mshr.allocate(10, 1);
+    mshr.allocate(10, 2);
+    mshr.allocate(10, 3);
+    const std::vector<ReqId> waiters = mshr.complete(10);
+    ASSERT_EQ(waiters.size(), 3u);
+    EXPECT_EQ(waiters[0], 1u);
+    EXPECT_EQ(waiters[1], 2u);
+    EXPECT_EQ(waiters[2], 3u);
+    EXPECT_EQ(mshr.size(), 0u);
+}
+
+TEST(MshrTable, FullRejectsNewKeysButMergesExisting)
+{
+    MshrTable mshr(2);
+    EXPECT_EQ(mshr.allocate(1, 10), MshrTable::Outcome::Allocated);
+    EXPECT_EQ(mshr.allocate(2, 11), MshrTable::Outcome::Allocated);
+    EXPECT_EQ(mshr.allocate(3, 12), MshrTable::Outcome::Full);
+    EXPECT_EQ(mshr.rejections(), 1u);
+    // Merging into an existing entry still works when full.
+    EXPECT_EQ(mshr.allocate(1, 13), MshrTable::Outcome::Merged);
+}
+
+TEST(MshrTable, FreeingMakesRoom)
+{
+    MshrTable mshr(1);
+    mshr.allocate(1, 10);
+    EXPECT_EQ(mshr.allocate(2, 11), MshrTable::Outcome::Full);
+    mshr.complete(1);
+    EXPECT_EQ(mshr.allocate(2, 11), MshrTable::Outcome::Allocated);
+}
+
+TEST(MshrTable, Has)
+{
+    MshrTable mshr(2);
+    EXPECT_FALSE(mshr.has(5));
+    mshr.allocate(5, 0);
+    EXPECT_TRUE(mshr.has(5));
+}
+
+TEST(LatencyPipe, FixedLatency)
+{
+    LatencyPipe pipe(1, 10);
+    ASSERT_TRUE(pipe.canAccept(0));
+    pipe.push(42, 0);
+    for (Cycle t = 0; t < 10; ++t)
+        EXPECT_FALSE(pipe.hasReady(t));
+    ASSERT_TRUE(pipe.hasReady(10));
+    EXPECT_EQ(pipe.pop(), 42u);
+    EXPECT_FALSE(pipe.hasReady(10));
+}
+
+TEST(LatencyPipe, PortLimitPerCycle)
+{
+    LatencyPipe pipe(2, 5);
+    EXPECT_TRUE(pipe.canAccept(0));
+    pipe.push(1, 0);
+    EXPECT_TRUE(pipe.canAccept(0));
+    pipe.push(2, 0);
+    EXPECT_FALSE(pipe.canAccept(0));
+    // Next cycle, ports are free again.
+    EXPECT_TRUE(pipe.canAccept(1));
+}
+
+TEST(LatencyPipe, FifoOrder)
+{
+    LatencyPipe pipe(1, 3);
+    pipe.push(1, 0);
+    pipe.push(2, 1);
+    pipe.push(3, 2);
+    EXPECT_TRUE(pipe.hasReady(3));
+    EXPECT_EQ(pipe.pop(), 1u);
+    EXPECT_FALSE(pipe.hasReady(3));
+    EXPECT_EQ(pipe.inFlight(), 2u);
+    EXPECT_TRUE(pipe.hasReady(4));
+    EXPECT_EQ(pipe.pop(), 2u);
+    EXPECT_TRUE(pipe.hasReady(5));
+    EXPECT_EQ(pipe.pop(), 3u);
+}
+
+TEST(BankedPipe, BankSelection)
+{
+    BankedPipe banks(8, 1, 10);
+    EXPECT_EQ(banks.numBanks(), 8u);
+    EXPECT_EQ(banks.bankFor(0), 0u);
+    EXPECT_EQ(banks.bankFor(7), 7u);
+    EXPECT_EQ(banks.bankFor(8), 0u);
+    EXPECT_EQ(banks.bankFor(13), 5u);
+}
+
+TEST(BankedPipe, BanksAreIndependent)
+{
+    BankedPipe banks(2, 1, 4);
+    banks.bank(0).push(100, 0);
+    EXPECT_FALSE(banks.bank(0).canAccept(0));
+    EXPECT_TRUE(banks.bank(1).canAccept(0));
+}
+
+} // namespace
+} // namespace mask

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+
+namespace mask {
+namespace {
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ReseedRestartsStream)
+{
+    Rng a(7);
+    std::vector<std::uint64_t> first;
+    for (int i = 0; i < 16; ++i)
+        first.push_back(a.next());
+    a.seed(7);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(a.next(), first[i]);
+}
+
+TEST(Rng, BelowZeroBoundIsZero)
+{
+    Rng rng(3);
+    EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Rng, BelowRespectsBound)
+{
+    Rng rng(11);
+    for (std::uint64_t bound : {1ull, 2ull, 7ull, 100ull, 1ull << 40}) {
+        for (int i = 0; i < 200; ++i)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, BelowCoversSmallRange)
+{
+    Rng rng(5);
+    bool seen[8] = {};
+    for (int i = 0; i < 500; ++i)
+        seen[rng.below(8)] = true;
+    for (bool b : seen)
+        EXPECT_TRUE(b);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(9);
+    bool lo = false, hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t v = rng.range(10, 13);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 13u);
+        lo |= v == 10;
+        hi |= v == 13;
+    }
+    EXPECT_TRUE(lo);
+    EXPECT_TRUE(hi);
+}
+
+TEST(Rng, RangeDegenerate)
+{
+    Rng rng(1);
+    EXPECT_EQ(rng.range(5, 5), 5u);
+    EXPECT_EQ(rng.range(9, 3), 9u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(123);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(77);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+        EXPECT_FALSE(rng.chance(-1.0));
+        EXPECT_TRUE(rng.chance(2.0));
+    }
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng rng(88);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, GeometricMeanApproximation)
+{
+    Rng rng(99);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.geometric(10.0));
+    EXPECT_NEAR(sum / n, 10.0, 0.5);
+}
+
+TEST(Rng, GeometricMinimumIsOne)
+{
+    Rng rng(4);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GE(rng.geometric(1.0), 1u);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GE(rng.geometric(0.0), 1u);
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RngSeedSweep, BelowStaysInBoundAndVaries)
+{
+    Rng rng(GetParam());
+    std::uint64_t min = ~0ull, max = 0;
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t v = rng.below(1000);
+        min = std::min(min, v);
+        max = std::max(max, v);
+        ASSERT_LT(v, 1000u);
+    }
+    EXPECT_LT(min, 100u);
+    EXPECT_GT(max, 900u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0, 1, 2, 42, 1337,
+                                           0xdeadbeef, ~0ull));
+
+} // namespace
+} // namespace mask

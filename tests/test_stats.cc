@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unit tests for the statistics primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+namespace mask {
+namespace {
+
+TEST(SafeDiv, ZeroDenominator)
+{
+    EXPECT_EQ(safeDiv(5.0, 0.0), 0.0);
+    EXPECT_EQ(safeDiv(0.0, 0.0), 0.0);
+}
+
+TEST(SafeDiv, Normal)
+{
+    EXPECT_DOUBLE_EQ(safeDiv(6.0, 3.0), 2.0);
+}
+
+TEST(Pct, Formatting)
+{
+    EXPECT_EQ(pct(0.578), "57.8%");
+    EXPECT_EQ(pct(0.5), "50.0%");
+    EXPECT_EQ(pct(1.0, 0), "100%");
+    EXPECT_EQ(pct(0.12345, 2), "12.35%");
+}
+
+TEST(HitMiss, RatesAndReset)
+{
+    HitMiss hm;
+    EXPECT_EQ(hm.hitRate(), 0.0);
+    hm.hits = 3;
+    hm.misses = 1;
+    EXPECT_DOUBLE_EQ(hm.hitRate(), 0.75);
+    EXPECT_DOUBLE_EQ(hm.missRate(), 0.25);
+    EXPECT_EQ(hm.accesses(), 4u);
+    hm.reset();
+    EXPECT_EQ(hm.accesses(), 0u);
+}
+
+TEST(HitMiss, Accumulate)
+{
+    HitMiss a, b;
+    a.hits = 1;
+    a.misses = 2;
+    b.hits = 10;
+    b.misses = 20;
+    a += b;
+    EXPECT_EQ(a.hits, 11u);
+    EXPECT_EQ(a.misses, 22u);
+}
+
+TEST(RunningStat, MeanMinMax)
+{
+    RunningStat s;
+    EXPECT_EQ(s.mean(), 0.0);
+    s.add(2.0);
+    s.add(4.0);
+    s.add(9.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.minVal, 2.0);
+    EXPECT_DOUBLE_EQ(s.maxVal, 9.0);
+    EXPECT_EQ(s.count, 3u);
+    s.reset();
+    EXPECT_EQ(s.count, 0u);
+}
+
+TEST(RunningStat, SingleSampleMinMax)
+{
+    RunningStat s;
+    s.add(-3.5);
+    EXPECT_DOUBLE_EQ(s.minVal, -3.5);
+    EXPECT_DOUBLE_EQ(s.maxVal, -3.5);
+}
+
+TEST(Histogram, BucketsAndMean)
+{
+    Histogram h(10, 5);
+    h.add(0);
+    h.add(9);
+    h.add(10);
+    h.add(25);
+    h.add(1000); // clamps into last bucket
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_EQ(h.buckets()[0], 2u);
+    EXPECT_EQ(h.buckets()[1], 1u);
+    EXPECT_EQ(h.buckets()[2], 1u);
+    EXPECT_EQ(h.buckets()[4], 1u);
+    EXPECT_NEAR(h.mean(), (0 + 9 + 10 + 25 + 1000) / 5.0, 1e-9);
+}
+
+TEST(Histogram, Percentile)
+{
+    Histogram h(1, 100);
+    for (std::uint64_t v = 0; v < 100; ++v)
+        h.add(v);
+    EXPECT_LE(h.percentileUpperBound(0.5), 51u);
+    EXPECT_GE(h.percentileUpperBound(0.5), 49u);
+    EXPECT_GE(h.percentileUpperBound(1.0), 99u);
+}
+
+TEST(Histogram, ZeroWidthIsClamped)
+{
+    Histogram h(0, 4);
+    h.add(3);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.buckets()[3], 1u);
+}
+
+TEST(Histogram, Reset)
+{
+    Histogram h(10, 4);
+    h.add(5);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(IntervalSampler, SamplesAtInterval)
+{
+    IntervalSampler s(10);
+    for (Cycle t = 0; t < 100; ++t)
+        s.tick(t, static_cast<double>(t));
+    // Samples at t = 0, 10, 20, ..., 90.
+    EXPECT_EQ(s.stat().count, 10u);
+    EXPECT_DOUBLE_EQ(s.stat().mean(), 45.0);
+}
+
+TEST(IntervalSampler, ResetRestartsSampling)
+{
+    IntervalSampler s(10);
+    s.tick(0, 1.0);
+    s.reset();
+    EXPECT_EQ(s.stat().count, 0u);
+    s.tick(100, 2.0);
+    EXPECT_EQ(s.stat().count, 1u);
+}
+
+} // namespace
+} // namespace mask

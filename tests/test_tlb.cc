@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Unit tests for the ASID-tagged TLBs and the TLB MSHRs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "tlb/tlb.hh"
+#include "tlb/tlb_mshr.hh"
+
+namespace mask {
+namespace {
+
+TlbConfig
+smallTlb(std::uint32_t entries, std::uint32_t ways)
+{
+    TlbConfig cfg;
+    cfg.entries = entries;
+    cfg.ways = ways;
+    return cfg;
+}
+
+TEST(Tlb, KeyComposition)
+{
+    EXPECT_EQ(tlbKeyAsid(tlbKey(7, 0x123)), 7);
+    EXPECT_EQ(tlbKeyVpn(tlbKey(7, 0x123)), 0x123u);
+    EXPECT_NE(tlbKey(1, 100), tlbKey(2, 100));
+    EXPECT_NE(tlbKey(1, 100), tlbKey(1, 101));
+}
+
+TEST(Tlb, MissThenFillThenHit)
+{
+    Tlb tlb(smallTlb(8, 0));
+    Pfn pfn = 0;
+    EXPECT_FALSE(tlb.lookup(1, 100, &pfn));
+    tlb.fill(1, 100, 555);
+    EXPECT_TRUE(tlb.lookup(1, 100, &pfn));
+    EXPECT_EQ(pfn, 555u);
+    EXPECT_EQ(tlb.stats().hits, 1u);
+    EXPECT_EQ(tlb.stats().misses, 1u);
+}
+
+TEST(Tlb, AsidIsolation)
+{
+    Tlb tlb(smallTlb(8, 0));
+    tlb.fill(1, 100, 10);
+    EXPECT_FALSE(tlb.lookup(2, 100))
+        << "a translation must never hit across address spaces";
+    tlb.fill(2, 100, 20);
+    Pfn pfn = 0;
+    EXPECT_TRUE(tlb.lookup(1, 100, &pfn));
+    EXPECT_EQ(pfn, 10u);
+    EXPECT_TRUE(tlb.lookup(2, 100, &pfn));
+    EXPECT_EQ(pfn, 20u);
+}
+
+TEST(Tlb, FlushAsidOnlyRemovesThatAsid)
+{
+    Tlb tlb(smallTlb(16, 0));
+    for (Vpn v = 0; v < 4; ++v) {
+        tlb.fill(1, v, v);
+        tlb.fill(2, v, v);
+    }
+    tlb.flushAsid(1);
+    for (Vpn v = 0; v < 4; ++v) {
+        EXPECT_FALSE(tlb.probe(1, v));
+        EXPECT_TRUE(tlb.probe(2, v));
+    }
+}
+
+TEST(Tlb, FlushAll)
+{
+    Tlb tlb(smallTlb(8, 0));
+    tlb.fill(1, 1, 1);
+    tlb.fill(2, 2, 2);
+    tlb.flushAll();
+    EXPECT_EQ(tlb.occupancy(), 0u);
+}
+
+TEST(Tlb, InvalidateSingleEntry)
+{
+    Tlb tlb(smallTlb(8, 0));
+    tlb.fill(1, 5, 50);
+    EXPECT_TRUE(tlb.invalidate(1, 5));
+    EXPECT_FALSE(tlb.invalidate(1, 5));
+    EXPECT_FALSE(tlb.probe(1, 5));
+}
+
+TEST(Tlb, FullyAssociativeCapacityLru)
+{
+    Tlb tlb(smallTlb(4, 0)); // fully associative, 4 entries
+    for (Vpn v = 0; v < 4; ++v)
+        tlb.fill(1, v, v);
+    tlb.lookup(1, 0); // refresh vpn 0
+    tlb.fill(1, 99, 99);
+    EXPECT_TRUE(tlb.probe(1, 0));
+    EXPECT_FALSE(tlb.probe(1, 1)) << "LRU entry should be evicted";
+}
+
+TEST(Tlb, PerAsidStats)
+{
+    Tlb tlb(smallTlb(8, 0));
+    tlb.lookup(1, 1);
+    tlb.lookup(2, 1);
+    tlb.lookup(2, 2);
+    EXPECT_EQ(tlb.statsFor(1).misses, 1u);
+    EXPECT_EQ(tlb.statsFor(2).misses, 2u);
+}
+
+TEST(Tlb, EpochStatsResetIndependently)
+{
+    Tlb tlb(smallTlb(8, 0));
+    tlb.lookup(1, 1);
+    tlb.fill(1, 1, 1);
+    tlb.lookup(1, 1);
+    EXPECT_EQ(tlb.epochStats().accesses(), 2u);
+    tlb.resetEpochStats();
+    EXPECT_EQ(tlb.epochStats().accesses(), 0u);
+    EXPECT_EQ(tlb.stats().accesses(), 2u) << "cumulative stats survive";
+    EXPECT_EQ(tlb.epochStatsFor(1).accesses(), 0u);
+}
+
+TEST(Tlb, SetAssociativeUsesVpnIndexBits)
+{
+    // 16 entries, 4 ways -> 4 sets indexed by low VPN bits.
+    Tlb tlb(smallTlb(16, 4));
+    // 5 entries mapping to the same set (vpn % 4 == 0) overflow it.
+    for (Vpn v = 0; v < 5; ++v)
+        tlb.fill(1, v * 4, v);
+    int present = 0;
+    for (Vpn v = 0; v < 5; ++v)
+        present += tlb.probe(1, v * 4);
+    EXPECT_EQ(present, 4);
+}
+
+// ---------------------------------------------------------------------
+// TLB MSHRs
+// ---------------------------------------------------------------------
+
+StalledAccess
+access(CoreId core, WarpId warp)
+{
+    StalledAccess a;
+    a.core = core;
+    a.warp = warp;
+    return a;
+}
+
+TEST(TlbMshr, AllocateMergeComplete)
+{
+    TlbMshrTable mshr(8);
+    EXPECT_EQ(mshr.allocate(1, 100, 0, access(0, 0), 10),
+              TlbMshrTable::Outcome::Allocated);
+    EXPECT_EQ(mshr.allocate(1, 100, 0, access(1, 5), 20),
+              TlbMshrTable::Outcome::Merged);
+    EXPECT_TRUE(mshr.has(1, 100));
+    EXPECT_EQ(mshr.stalledWarps(), 2u);
+
+    const auto entry = mshr.complete(1, 100);
+    EXPECT_EQ(entry.waiters.size(), 2u);
+    EXPECT_EQ(entry.firstMissCycle, 10u);
+    EXPECT_EQ(entry.maxWarpsStalled, 2u);
+    EXPECT_EQ(mshr.stalledWarps(), 0u);
+    EXPECT_FALSE(mshr.has(1, 100));
+}
+
+TEST(TlbMshr, DistinctAsidsDistinctEntries)
+{
+    TlbMshrTable mshr(8);
+    mshr.allocate(1, 100, 0, access(0, 0), 0);
+    EXPECT_EQ(mshr.allocate(2, 100, 1, access(0, 1), 0),
+              TlbMshrTable::Outcome::Allocated);
+    EXPECT_EQ(mshr.size(), 2u);
+}
+
+TEST(TlbMshr, FullRejects)
+{
+    TlbMshrTable mshr(1);
+    mshr.allocate(1, 1, 0, access(0, 0), 0);
+    EXPECT_EQ(mshr.allocate(1, 2, 0, access(0, 1), 0),
+              TlbMshrTable::Outcome::Full);
+    // The rejected access must not leak into stall accounting.
+    EXPECT_EQ(mshr.stalledWarps(), 1u);
+}
+
+TEST(TlbMshr, PerAppStallCounts)
+{
+    TlbMshrTable mshr(8);
+    mshr.allocate(1, 1, 0, access(0, 0), 0);
+    mshr.allocate(1, 1, 0, access(0, 1), 0);
+    mshr.allocate(2, 2, 1, access(1, 0), 0);
+    EXPECT_EQ(mshr.stalledWarpsFor(0), 2u);
+    EXPECT_EQ(mshr.stalledWarpsFor(1), 1u);
+    mshr.complete(1, 1);
+    EXPECT_EQ(mshr.stalledWarpsFor(0), 0u);
+    EXPECT_EQ(mshr.stalledWarpsFor(1), 1u);
+}
+
+TEST(TlbMshr, WarpsPerMissStatistic)
+{
+    TlbMshrTable mshr(8);
+    mshr.allocate(1, 1, 0, access(0, 0), 0);
+    mshr.allocate(1, 1, 0, access(0, 1), 0);
+    mshr.allocate(1, 1, 0, access(0, 2), 0);
+    mshr.complete(1, 1);
+    mshr.allocate(1, 2, 0, access(0, 0), 0);
+    mshr.complete(1, 2);
+    EXPECT_DOUBLE_EQ(mshr.warpsPerMiss().mean(), 2.0); // (3 + 1) / 2
+    EXPECT_DOUBLE_EQ(mshr.warpsPerMissFor(0).mean(), 2.0);
+}
+
+} // namespace
+} // namespace mask

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Unit and property tests for page tables and the page table walker.
+ */
+
+#include <set>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "vm/page_table.hh"
+#include "vm/walker.hh"
+
+namespace mask {
+namespace {
+
+TEST(PageTable, MapIsIdempotent)
+{
+    FrameAllocator frames(12);
+    PageTable pt(1, 12, frames);
+    const Pfn a = pt.mapPage(100);
+    const Pfn b = pt.mapPage(100);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(pt.mappedPages(), 1u);
+}
+
+TEST(PageTable, LookupUnmapped)
+{
+    FrameAllocator frames(12);
+    PageTable pt(1, 12, frames);
+    EXPECT_EQ(pt.lookup(42), kInvalidPfn);
+    pt.mapPage(42);
+    EXPECT_NE(pt.lookup(42), kInvalidPfn);
+}
+
+TEST(PageTable, DistinctPagesDistinctFrames)
+{
+    FrameAllocator frames(12);
+    PageTable pt(1, 12, frames);
+    std::set<Pfn> pfns;
+    for (Vpn vpn = 0; vpn < 1000; ++vpn)
+        pfns.insert(pt.mapPage(vpn * 977));
+    EXPECT_EQ(pfns.size(), 1000u);
+}
+
+TEST(PageTable, TwoAddressSpacesAreIsolated)
+{
+    FrameAllocator frames(12);
+    PageTable pt1(1, 12, frames);
+    PageTable pt2(2, 12, frames);
+    const Pfn a = pt1.mapPage(7);
+    const Pfn b = pt2.mapPage(7);
+    EXPECT_NE(a, b) << "same VPN in different ASIDs must not share a "
+                       "physical frame";
+}
+
+TEST(PageTable, WalkAddrsAreLevelDistinct)
+{
+    FrameAllocator frames(12);
+    PageTable pt(1, 12, frames);
+    pt.mapPage(0x12345);
+    const auto addrs = pt.walkAddrs(0x12345);
+    std::set<Addr> unique(addrs.begin(), addrs.end());
+    EXPECT_EQ(unique.size(), kPtLevels);
+    EXPECT_EQ(addrs[0] & ~Addr{4095}, pt.rootAddr());
+}
+
+TEST(PageTable, NearbyPagesShareInteriorNodes)
+{
+    FrameAllocator frames(12);
+    PageTable pt(1, 12, frames);
+    pt.mapPage(1000);
+    pt.mapPage(1001);
+    const auto a = pt.walkAddrs(1000);
+    const auto b = pt.walkAddrs(1001);
+    // Levels 1-3 are identical nodes; leaf PTEs are 8 bytes apart.
+    EXPECT_EQ(a[0], b[0]);
+    EXPECT_EQ(a[1], b[1]);
+    EXPECT_EQ(a[2], b[2]);
+    EXPECT_EQ(b[3], a[3] + kPteBytes);
+}
+
+TEST(PageTable, FarPagesUseDifferentLeafNodes)
+{
+    FrameAllocator frames(12);
+    PageTable pt(1, 12, frames);
+    pt.mapPage(0);
+    pt.mapPage(1ull << 20); // beyond one leaf node's 512-page reach
+    const auto a = pt.walkAddrs(0);
+    const auto b = pt.walkAddrs(1ull << 20);
+    EXPECT_NE(a[3] >> 12, b[3] >> 12);
+}
+
+TEST(PageTable, NodeCountGrowth)
+{
+    FrameAllocator frames(12);
+    PageTable pt(1, 12, frames);
+    const std::uint64_t start = pt.nodeCount();
+    EXPECT_EQ(start, 1u); // root only
+    pt.mapPage(0);
+    EXPECT_EQ(pt.nodeCount(), 4u); // root + L2 + L3 + leaf node
+    pt.mapPage(1); // same leaf node
+    EXPECT_EQ(pt.nodeCount(), 4u);
+    pt.mapPage(512); // new leaf node, same L3
+    EXPECT_EQ(pt.nodeCount(), 5u);
+}
+
+TEST(PageTable, UnmapPage)
+{
+    FrameAllocator frames(12);
+    PageTable pt(1, 12, frames);
+    pt.mapPage(9);
+    EXPECT_TRUE(pt.unmapPage(9));
+    EXPECT_FALSE(pt.unmapPage(9));
+    EXPECT_EQ(pt.lookup(9), kInvalidPfn);
+}
+
+TEST(PageTable, LargePagesSupported)
+{
+    FrameAllocator frames(21);
+    PageTable pt(1, 21, frames);
+    const Pfn pfn = pt.mapPage(5);
+    EXPECT_EQ(frames.frameAddr(pfn), pfn << 21);
+    const auto addrs = pt.walkAddrs(5);
+    EXPECT_EQ(addrs.size(), kPtLevels);
+}
+
+TEST(PageTable, WalkAddrsWithinAllocatedFrames)
+{
+    FrameAllocator frames(12);
+    PageTable pt(1, 12, frames);
+    Rng rng(5);
+    for (int i = 0; i < 500; ++i) {
+        const Vpn vpn = rng.below(1ull << 30);
+        pt.mapPage(vpn);
+        for (const Addr addr : pt.walkAddrs(vpn)) {
+            EXPECT_LT(addr >> 12, frames.allocated())
+                << "PTE address outside allocated physical frames";
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Walker
+// ---------------------------------------------------------------------
+
+std::array<Addr, kPtLevels>
+fakeAddrs(Addr base)
+{
+    return {base, base + 4096, base + 8192, base + 12288};
+}
+
+TEST(Walker, FourLevelSequence)
+{
+    PageTableWalker walker(WalkerConfig{4, 4});
+    const WalkId walk = walker.startWalk(1, 100, 0, fakeAddrs(0), 0);
+    for (std::uint8_t level = 1; level <= 4; ++level) {
+        ASSERT_TRUE(walker.hasPendingFetch());
+        const WalkId w = walker.popPendingFetch();
+        EXPECT_EQ(w, walk);
+        EXPECT_EQ(walker.fetchLevel(w), level);
+        EXPECT_EQ(walker.fetchAddr(w),
+                  Addr{4096} * (level - 1));
+        const bool done = walker.fetchComplete(w, level * 100);
+        EXPECT_EQ(done, level == 4);
+    }
+    EXPECT_FALSE(walker.hasPendingFetch());
+    EXPECT_DOUBLE_EQ(walker.walkLatency().mean(), 400.0);
+    walker.release(walk);
+    EXPECT_EQ(walker.activeWalks(), 0u);
+}
+
+TEST(Walker, CapacityLimit)
+{
+    PageTableWalker walker(WalkerConfig{2, 4});
+    EXPECT_TRUE(walker.hasCapacity());
+    const WalkId a = walker.startWalk(1, 1, 0, fakeAddrs(0), 0);
+    walker.startWalk(1, 2, 0, fakeAddrs(0), 0);
+    EXPECT_FALSE(walker.hasCapacity());
+    EXPECT_EQ(walker.activeWalks(), 2u);
+
+    // Completing all levels and releasing frees a thread.
+    WalkId w = walker.popPendingFetch();
+    (void)walker.popPendingFetch();
+    while (!walker.fetchComplete(a, 10))
+        ;
+    (void)w;
+    walker.release(a);
+    EXPECT_TRUE(walker.hasCapacity());
+}
+
+TEST(Walker, PerAppActiveCounts)
+{
+    PageTableWalker walker(WalkerConfig{8, 4});
+    walker.startWalk(1, 1, 0, fakeAddrs(0), 0);
+    walker.startWalk(1, 2, 0, fakeAddrs(0), 0);
+    const WalkId b = walker.startWalk(2, 3, 1, fakeAddrs(0), 0);
+    EXPECT_EQ(walker.activeWalksFor(0), 2u);
+    EXPECT_EQ(walker.activeWalksFor(1), 1u);
+    EXPECT_EQ(walker.activeWalksFor(7), 0u);
+
+    while (!walker.fetchComplete(b, 5))
+        ;
+    walker.release(b);
+    EXPECT_EQ(walker.activeWalksFor(1), 0u);
+}
+
+TEST(Walker, InfoRoundTrip)
+{
+    PageTableWalker walker(WalkerConfig{4, 4});
+    const WalkId w = walker.startWalk(3, 777, 2, fakeAddrs(64), 123);
+    EXPECT_EQ(walker.info(w).asid, 3);
+    EXPECT_EQ(walker.info(w).vpn, 777u);
+    EXPECT_EQ(walker.info(w).app, 2);
+    EXPECT_EQ(walker.info(w).startCycle, 123u);
+}
+
+TEST(Walker, SlotsAreReusedAfterRelease)
+{
+    PageTableWalker walker(WalkerConfig{1, 2});
+    const WalkId a = walker.startWalk(1, 1, 0, fakeAddrs(0), 0);
+    while (!walker.fetchComplete(a, 1))
+        ;
+    walker.release(a);
+    const WalkId b = walker.startWalk(1, 2, 0, fakeAddrs(0), 0);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(walker.walksStarted(), 2u);
+}
+
+TEST(Walker, ShorterWalksForFewerLevels)
+{
+    PageTableWalker walker(WalkerConfig{4, 2});
+    const WalkId w = walker.startWalk(1, 1, 0, fakeAddrs(0), 0);
+    walker.popPendingFetch();
+    EXPECT_FALSE(walker.fetchComplete(w, 10));
+    walker.popPendingFetch();
+    EXPECT_TRUE(walker.fetchComplete(w, 20));
+}
+
+} // namespace
+} // namespace mask

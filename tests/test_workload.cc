@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Tests for the synthetic workload generator and the benchmark suite.
+ */
+
+#include <set>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "workload/generator.hh"
+#include "workload/suite.hh"
+
+namespace mask {
+namespace {
+
+BenchmarkParams
+simpleParams()
+{
+    BenchmarkParams p;
+    p.hotPages = 4;
+    p.coldPages = 1000;
+    p.hotFraction = 0.25;
+    p.pageRun = 4;
+    p.streamFraction = 0.5;
+    p.blockWarps = 8;
+    p.randWindow = 4;
+    p.stepAccesses = 16;
+    p.pageStride = 17;
+    p.lineReuse = 0.0;
+    return p;
+}
+
+TEST(Generator, AddressesStayInWorkingSet)
+{
+    const BenchmarkParams p = simpleParams();
+    WarpMemState state;
+    StreamTable table;
+    Rng rng(1);
+    const std::uint64_t max_page = workingSetPages(p);
+    for (int i = 0; i < 5000; ++i) {
+        const Addr vaddr = nextVaddr(p, state, rng, 3, table, 12, 7);
+        EXPECT_LT(vaddr >> 12, max_page);
+    }
+}
+
+TEST(Generator, Deterministic)
+{
+    const BenchmarkParams p = simpleParams();
+    WarpMemState s1, s2;
+    StreamTable t1, t2;
+    Rng r1(9), r2(9);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_EQ(nextVaddr(p, s1, r1, 5, t1, 12, 7),
+                  nextVaddr(p, s2, r2, 5, t2, 12, 7));
+    }
+}
+
+TEST(Generator, StreamMembersShareHeadPages)
+{
+    BenchmarkParams p = simpleParams();
+    p.hotFraction = 0.0;
+    p.streamFraction = 1.0; // pure streaming
+    p.pageRun = 1;
+    WarpMemState a, b;
+    StreamTable table;
+    Rng rng(3);
+    // Warps 0 and 1 are in block 0 (blockWarps = 8): same stream.
+    std::set<Vpn> pages_a, pages_b;
+    for (int i = 0; i < 400; ++i) {
+        pages_a.insert(nextVaddr(p, a, rng, 0, table, 12, 7) >> 12);
+        pages_b.insert(nextVaddr(p, b, rng, 1, table, 12, 7) >> 12);
+    }
+    // Same stream, interleaved advance: page sets overlap heavily.
+    std::set<Vpn> common;
+    for (Vpn v : pages_a) {
+        if (pages_b.count(v))
+            common.insert(v);
+    }
+    EXPECT_GT(common.size(), pages_a.size() / 2);
+}
+
+TEST(Generator, DifferentStreamsUseDifferentPages)
+{
+    BenchmarkParams p = simpleParams();
+    p.hotFraction = 0.0;
+    p.streamFraction = 1.0;
+    WarpMemState a, b;
+    StreamTable table;
+    Rng rng(3);
+    std::set<Vpn> pages_a, pages_b;
+    for (int i = 0; i < 200; ++i) {
+        // Warp 0 -> stream 0; warp 8 -> stream 1.
+        pages_a.insert(nextVaddr(p, a, rng, 0, table, 12, 7) >> 12);
+        pages_b.insert(nextVaddr(p, b, rng, 8, table, 12, 7) >> 12);
+    }
+    std::size_t common = 0;
+    for (Vpn v : pages_a)
+        common += pages_b.count(v);
+    EXPECT_LT(common, 3u);
+}
+
+TEST(Generator, HotPagesComeFromHotSet)
+{
+    BenchmarkParams p = simpleParams();
+    p.hotFraction = 1.0;
+    p.pageRun = 1;
+    WarpMemState state;
+    StreamTable table;
+    Rng rng(7);
+    for (int i = 0; i < 500; ++i) {
+        const Vpn page = nextVaddr(p, state, rng, 0, table, 12, 7) >> 12;
+        EXPECT_LT(page, p.hotPages);
+    }
+}
+
+TEST(Generator, LineReuseFlagAndStability)
+{
+    BenchmarkParams p = simpleParams();
+    p.lineReuse = 0.5;
+    p.pageRun = 100;
+    p.stepAccesses = 100000; // head never steps during the test
+    WarpMemState state;
+    StreamTable table;
+    Rng rng(11);
+    bool reused = false;
+    Addr prev = nextVaddr(p, state, rng, 0, table, 12, 7, &reused);
+    EXPECT_FALSE(reused) << "first access cannot be a reuse";
+    int reuses = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const Addr vaddr =
+            nextVaddr(p, state, rng, 0, table, 12, 7, &reused);
+        if (reused) {
+            EXPECT_EQ(vaddr, prev)
+                << "a reused access must repeat the previous line";
+            ++reuses;
+        }
+        prev = vaddr;
+    }
+    EXPECT_NEAR(reuses, 1000, 100);
+}
+
+TEST(Generator, HeadAdvancesWithProgress)
+{
+    BenchmarkParams p = simpleParams();
+    p.hotFraction = 0.0;
+    p.streamFraction = 1.0;
+    p.stepAccesses = 10;
+    p.pageRun = 100; // only steps change the page
+    WarpMemState state;
+    StreamTable table;
+    Rng rng(13);
+    std::set<Vpn> pages;
+    for (int i = 0; i < 100; ++i)
+        pages.insert(nextVaddr(p, state, rng, 0, table, 12, 7) >> 12);
+    // 100 accesses / 10 per step = 10 head positions.
+    EXPECT_GE(pages.size(), 9u);
+    EXPECT_LE(pages.size(), 11u);
+}
+
+TEST(Generator, StrideSeparatesConsecutiveLeafLines)
+{
+    BenchmarkParams p = simpleParams();
+    p.hotFraction = 0.0;
+    p.streamFraction = 1.0;
+    p.stepAccesses = 1;
+    p.pageRun = 1;
+    p.pageStride = 17;
+    WarpMemState state;
+    StreamTable table;
+    Rng rng(17);
+    Vpn prev = nextVaddr(p, state, rng, 0, table, 12, 7) >> 12;
+    for (int i = 0; i < 50; ++i) {
+        const Vpn page = nextVaddr(p, state, rng, 0, table, 12, 7) >> 12;
+        if (page != prev) {
+            // 16 PTEs per 128B line: stride 17 changes the leaf line.
+            EXPECT_NE(page / 16, prev / 16);
+        }
+        prev = page;
+    }
+}
+
+TEST(StreamTable, GrowsOnDemand)
+{
+    StreamTable table;
+    EXPECT_EQ(table.count(100), 0u);
+    EXPECT_EQ(table.advance(100), 0u);
+    EXPECT_EQ(table.advance(100), 1u);
+    EXPECT_EQ(table.count(100), 2u);
+    table.reset();
+    EXPECT_EQ(table.count(100), 0u);
+}
+
+TEST(ComputeInterval, RespectsMeanRoughly)
+{
+    BenchmarkParams p;
+    p.computeMean = 8;
+    Rng rng(23);
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += nextComputeInterval(p, rng);
+    EXPECT_NEAR(sum / n, 8.0, 1.0);
+}
+
+// ---------------------------------------------------------------------
+// Suite
+// ---------------------------------------------------------------------
+
+TEST(Suite, ThirtyBenchmarks)
+{
+    EXPECT_EQ(benchmarkSuite().size(), 30u);
+}
+
+TEST(Suite, UniqueNames)
+{
+    std::set<std::string> names;
+    for (const auto &b : benchmarkSuite())
+        names.insert(b.name);
+    EXPECT_EQ(names.size(), benchmarkSuite().size());
+}
+
+TEST(Suite, Table2QuadrantCounts)
+{
+    int ll = 0, lh = 0, hl = 0, hh = 0;
+    for (const auto &b : benchmarkSuite()) {
+        const bool l1 = b.l1Class == MissClass::High;
+        const bool l2 = b.l2Class == MissClass::High;
+        if (!l1 && !l2)
+            ++ll;
+        else if (!l1 && l2)
+            ++lh;
+        else if (l1 && !l2)
+            ++hl;
+        else
+            ++hh;
+    }
+    // Table 2: 2 LL + 8 LH + 4 HL + 13 HH benchmarks, plus the three
+    // extra Figs. 5/6 benchmarks (JPEG -> LH, LIB/SPMV -> HH).
+    EXPECT_EQ(ll, 2);
+    EXPECT_EQ(lh, 9);
+    EXPECT_EQ(hl, 4);
+    EXPECT_EQ(hh, 15);
+}
+
+TEST(Suite, FindBenchmarkReturnsRequested)
+{
+    EXPECT_STREQ(findBenchmark("3DS").name, "3DS");
+    EXPECT_STREQ(findBenchmark("GUP").name, "GUP");
+}
+
+TEST(Suite, ThirtyFivePairsWithValidNames)
+{
+    const auto &pairs = workloadPairs();
+    EXPECT_EQ(pairs.size(), 35u);
+    for (const auto &pair : pairs) {
+        EXPECT_NO_FATAL_FAILURE(findBenchmark(pair.first));
+        EXPECT_NO_FATAL_FAILURE(findBenchmark(pair.second));
+    }
+}
+
+TEST(Suite, HmrCategoriesMatchPaper)
+{
+    EXPECT_EQ(pairsWithHmr(0).size(), 8u);
+    EXPECT_EQ(pairsWithHmr(1).size(), 16u);
+    EXPECT_EQ(pairsWithHmr(2).size(), 11u);
+}
+
+TEST(Suite, HmrLabelsMatchBenchmarkClasses)
+{
+    for (const auto &pair : workloadPairs()) {
+        int hh = 0;
+        for (const char *name : {pair.first, pair.second}) {
+            const BenchmarkParams &b = findBenchmark(name);
+            hh += b.l1Class == MissClass::High &&
+                  b.l2Class == MissClass::High;
+        }
+        EXPECT_EQ(hh, pair.hmr) << pair.name();
+    }
+}
+
+TEST(Suite, Fig7PairsArePresent)
+{
+    const auto &pairs = fig7Pairs();
+    ASSERT_EQ(pairs.size(), 4u);
+    EXPECT_EQ(pairs[0].name(), "3DS_HISTO");
+    EXPECT_EQ(pairs[3].name(), "RED_RAY");
+}
+
+TEST(Suite, BigFootprintAppsExceedSharedL2Tlb)
+{
+    // High-L2 apps must not fit in the 512-entry shared L2 TLB.
+    for (const auto &b : benchmarkSuite()) {
+        if (b.l2Class == MissClass::High)
+            EXPECT_GT(workingSetPages(b), 512u) << b.name;
+        else
+            EXPECT_LE(workingSetPages(b), 512u) << b.name;
+    }
+}
+
+} // namespace
+} // namespace mask
