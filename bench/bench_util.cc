@@ -78,5 +78,22 @@ fmt(double v, int decimals)
     return buf;
 }
 
+int
+guardedMain(int (*body)())
+{
+    try {
+        return body();
+    } catch (const SimInvariantError &err) {
+        std::fputs(err.diagnostic().c_str(), stderr);
+        std::fprintf(stderr,
+                     "invariant failure: replay deterministically "
+                     "with: crash_replay --replay <repro file>\n");
+        return 2;
+    } catch (const ConfigError &err) {
+        std::fprintf(stderr, "%s\n", err.what());
+        return 2;
+    }
+}
+
 } // namespace bench
 } // namespace mask

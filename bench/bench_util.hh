@@ -41,6 +41,14 @@ void progress(const std::string &what);
 /** geometric-ish readable float. */
 std::string fmt(double v, int decimals = 3);
 
+/**
+ * Run a bench body under the hardening net: a SimInvariantError is
+ * printed as one diagnostic block (the runner has already written the
+ * crash-repro file) and a ConfigError as one line, both exiting 2
+ * instead of aborting mid-table.
+ */
+int guardedMain(int (*body)());
+
 } // namespace bench
 } // namespace mask
 

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Deterministic crash replay: re-run the configuration captured in a
+ * repro file (written by the runner when a hard invariant trips) and
+ * report whether the failure reproduces at the recorded cycle.
+ *
+ * Usage:
+ *   crash_replay --replay <repro-file>
+ *
+ * Exit codes: 0 the recorded failure reproduced exactly (same cycle
+ * and module), 1 no failure reproduced, 3 a failure reproduced but
+ * differs from the record, 2 usage / file errors.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <exception>
+
+#include "bench_util.hh"
+#include "sim/crash_repro.hh"
+
+using namespace mask;
+
+namespace {
+
+int
+replay(const char *path)
+{
+    const CrashRepro repro = loadRepro(path);
+    std::printf("replaying %s\n", path);
+    std::printf("  arch=%s design=%s seed=%llu warmup=%llu "
+                "measure=%llu\n",
+                repro.arch.c_str(), repro.design.c_str(),
+                static_cast<unsigned long long>(repro.seed),
+                static_cast<unsigned long long>(repro.warmup),
+                static_cast<unsigned long long>(repro.measure));
+    std::printf("  benches:");
+    for (const std::string &bench : repro.benches)
+        std::printf(" %s", bench.c_str());
+    std::printf("\n");
+    std::printf("  recorded failure: [%s] cycle %llu: %s\n",
+                repro.module.c_str(),
+                static_cast<unsigned long long>(repro.failCycle),
+                repro.detail.c_str());
+
+    const ReplayResult result = replayRepro(repro);
+    if (!result.reproduced) {
+        std::printf("result: NOT REPRODUCED (run completed "
+                    "cleanly)\n");
+        return 1;
+    }
+    std::printf("result: failed at [%s] cycle %llu: %s\n",
+                result.module.c_str(),
+                static_cast<unsigned long long>(result.failCycle),
+                result.detail.c_str());
+    if (result.sameCycle && result.sameModule) {
+        std::printf("result: REPRODUCED exactly (same cycle, same "
+                    "module)\n");
+        return 0;
+    }
+    std::printf("result: DIVERGED from the record (cycle match: %s, "
+                "module match: %s)\n",
+                result.sameCycle ? "yes" : "no",
+                result.sameModule ? "yes" : "no");
+    return 3;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 3 || std::strcmp(argv[1], "--replay") != 0) {
+        std::fprintf(stderr, "usage: %s --replay <repro-file>\n",
+                     argv[0]);
+        return 2;
+    }
+    try {
+        return replay(argv[2]);
+    } catch (const std::exception &err) {
+        std::fprintf(stderr, "%s\n", err.what());
+        return 2;
+    }
+}

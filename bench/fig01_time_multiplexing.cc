@@ -11,8 +11,10 @@
 
 using namespace mask;
 
+namespace {
+
 int
-main()
+run()
 {
     bench::banner("Figure 1",
                   "time-multiplexing overhead vs. process count");
@@ -53,4 +55,12 @@ main()
     std::printf("\nPaper (GTX 1080): 12%% at 2 processes rising to "
                 "91%% at 10; expect the same rising shape.\n");
     return 0;
+}
+
+} // namespace
+
+int
+main()
+{
+    return bench::guardedMain(run);
 }

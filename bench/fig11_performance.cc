@@ -11,8 +11,10 @@
 
 using namespace mask;
 
+namespace {
+
 int
-main()
+run()
 {
     bench::banner("Figure 11",
                   "weighted speedup by workload category, all designs");
@@ -65,4 +67,12 @@ main()
                 "Ideal (58.7%%/61.2%%/52.0%% gains for "
                 "0/1/2-HMR).\n");
     return 0;
+}
+
+} // namespace
+
+int
+main()
+{
+    return bench::guardedMain(run);
 }

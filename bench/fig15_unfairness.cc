@@ -10,8 +10,10 @@
 
 using namespace mask;
 
+namespace {
+
 int
-main()
+run()
 {
     bench::banner("Figure 15", "multiprogrammed workload unfairness");
 
@@ -56,4 +58,12 @@ main()
     std::printf("Paper: MASK reduces unfairness by 22.4%% on average "
                 "(20.1%%/25.0%%/21.8%% for 0/1/2-HMR).\n");
     return 0;
+}
+
+} // namespace
+
+int
+main()
+{
+    return bench::guardedMain(run);
 }

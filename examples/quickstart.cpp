@@ -12,12 +12,15 @@
 
 #include <cstdio>
 
+#include "common/check.hh"
 #include "common/stats.hh"
 #include "sim/presets.hh"
 #include "sim/runner.hh"
 
+namespace {
+
 int
-main()
+run()
 {
     using namespace mask;
 
@@ -42,4 +45,19 @@ main()
                     static_cast<unsigned long long>(r.stats.walks));
     }
     return 0;
+}
+
+} // namespace
+
+int
+main()
+{
+    // A tripped hard invariant surfaces as one diagnostic block (and
+    // a crash-repro file written by the runner) instead of an abort.
+    try {
+        return run();
+    } catch (const mask::SimInvariantError &err) {
+        std::fputs(err.diagnostic().c_str(), stderr);
+        return 2;
+    }
 }

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Determinism gate: run the Figure 11 harness twice under the fast CI
+# windows and require byte-for-byte identical stdout. Any divergence
+# means hidden nondeterminism (unordered-container iteration, uninit
+# reads, wall-clock leakage) crept into the simulator.
+#
+#   scripts/check_determinism.sh [path-to-fig11_performance]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN="${1:-build/bench/fig11_performance}"
+if [ ! -x "$BIN" ]; then
+    echo "error: $BIN not built (cmake --build build)" >&2
+    exit 2
+fi
+
+out_a="$(mktemp)"
+out_b="$(mktemp)"
+trap 'rm -f "$out_a" "$out_b"' EXIT
+
+echo "== run 1 =="
+MASK_BENCH_FAST=1 MASK_BENCH_PAIRS=4 "$BIN" >"$out_a" 2>/dev/null
+echo "== run 2 =="
+MASK_BENCH_FAST=1 MASK_BENCH_PAIRS=4 "$BIN" >"$out_b" 2>/dev/null
+
+if ! diff -u "$out_a" "$out_b"; then
+    echo "DETERMINISM FAILURE: identical configs produced different stats" >&2
+    exit 1
+fi
+echo "deterministic: both runs byte-identical"

@@ -1,6 +1,6 @@
 #include "cache/mshr.hh"
 
-#include <cassert>
+#include "common/check.hh"
 
 namespace mask {
 
@@ -27,7 +27,9 @@ std::vector<ReqId>
 MshrTable::complete(std::uint64_t key)
 {
     auto it = table_.find(key);
-    assert(it != table_.end() && "MSHR complete on unknown key");
+    SIM_CHECK_CTX(it != table_.end(), "cache.mshr", kUnknownCycle,
+                  "fill completed for a key with no MSHR entry",
+                  CheckContext{.paddr = key});
     std::vector<ReqId> waiters = std::move(it->second);
     table_.erase(it);
     return waiters;

@@ -1,0 +1,90 @@
+#include "common/check.hh"
+
+#include <cstdio>
+
+namespace mask {
+
+namespace {
+
+void
+appendField(std::string &out, const char *name, std::uint64_t value,
+            bool hex = false)
+{
+    if (value == CheckContext::kUnset)
+        return;
+    char buf[48];
+    if (hex) {
+        std::snprintf(buf, sizeof(buf), " %s=0x%llx", name,
+                      static_cast<unsigned long long>(value));
+    } else {
+        std::snprintf(buf, sizeof(buf), " %s=%llu", name,
+                      static_cast<unsigned long long>(value));
+    }
+    out += buf;
+}
+
+std::string
+cycleString(Cycle cycle)
+{
+    if (cycle == kUnknownCycle)
+        return "?";
+    return std::to_string(cycle);
+}
+
+} // namespace
+
+std::string
+CheckContext::describe() const
+{
+    std::string out;
+    appendField(out, "req", reqId);
+    appendField(out, "asid", asid);
+    appendField(out, "vpn", vpn, true);
+    appendField(out, "app", app);
+    appendField(out, "walk", walkId);
+    appendField(out, "paddr", paddr, true);
+    appendField(out, "age", age);
+    return out;
+}
+
+SimInvariantError::SimInvariantError(std::string module, Cycle cycle,
+                                     std::string detail, CheckContext ctx)
+    : std::runtime_error("[" + module + "] cycle " + cycleString(cycle) +
+                         ": " + detail + ctx.describe()),
+      module_(std::move(module)),
+      cycle_(cycle),
+      detail_(std::move(detail)),
+      ctx_(ctx)
+{
+}
+
+std::string
+SimInvariantError::diagnostic() const
+{
+    std::string out;
+    out += "=== SIMULATION INVARIANT VIOLATION "
+           "=================================\n";
+    out += "module : " + module_ + "\n";
+    out += "cycle  : " + cycleString(cycle_) + "\n";
+    out += "detail : " + detail_ + "\n";
+    const std::string ctx = ctx_.describe();
+    if (!ctx.empty())
+        out += "context:" + ctx + "\n";
+    out += "==========================================================="
+           "========\n";
+    return out;
+}
+
+namespace detail {
+
+void
+throwCheckFailure(const char *cond, const char *module, Cycle cycle,
+                  const std::string &detail, const CheckContext &ctx)
+{
+    throw SimInvariantError(
+        module, cycle, detail + " (check `" + cond + "` failed)", ctx);
+}
+
+} // namespace detail
+
+} // namespace mask

@@ -1,6 +1,159 @@
 #include "common/config.hh"
 
+#include <string>
+
 namespace mask {
+
+namespace {
+
+bool
+isPow2(std::uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+void
+require(bool ok, const std::string &message)
+{
+    if (!ok)
+        throw ConfigError(message);
+}
+
+void
+validateCache(const char *name, const CacheConfig &cfg)
+{
+    const std::string who = name;
+    require(cfg.sizeBytes > 0, who + ": sizeBytes must be > 0");
+    require(cfg.lineBytes > 0, who + ": lineBytes must be > 0");
+    require(isPow2(cfg.lineBytes),
+            who + ": lineBytes must be a power of two");
+    require(cfg.ways > 0, who + ": ways must be > 0");
+    require(cfg.sizeBytes % cfg.lineBytes == 0,
+            who + ": sizeBytes must be a multiple of lineBytes");
+    require(cfg.numLines() % cfg.ways == 0,
+            who + ": line count must be a multiple of ways");
+    require(cfg.numSets() > 0, who + ": set count must be > 0");
+    require(isPow2(cfg.numSets()),
+            who + ": set count must be a power of two (got " +
+                std::to_string(cfg.numSets()) + ")");
+    require(cfg.banks > 0, who + ": banks must be > 0");
+    require(cfg.portsPerBank > 0, who + ": portsPerBank must be > 0");
+    require(cfg.mshrs > 0, who + ": mshrs must be > 0");
+}
+
+void
+validateTlb(const char *name, const TlbConfig &cfg)
+{
+    const std::string who = name;
+    require(cfg.entries > 0, who + ": entries must be > 0");
+    if (cfg.ways != 0) {
+        require(cfg.entries % cfg.ways == 0,
+                who + ": entries must be a multiple of ways");
+        require(isPow2(cfg.entries / cfg.ways),
+                who + ": set count must be a power of two (got " +
+                    std::to_string(cfg.entries / cfg.ways) + ")");
+    }
+    require(cfg.ports > 0, who + ": ports must be > 0");
+    require(cfg.mshrs > 0, who + ": mshrs must be > 0");
+}
+
+void
+validateProb(const char *name, double p)
+{
+    require(p >= 0.0 && p <= 1.0,
+            std::string(name) + " must be within [0, 1]");
+}
+
+} // namespace
+
+void
+validateConfig(const GpuConfig &cfg)
+{
+    require(cfg.numCores > 0, "numCores must be > 0");
+    require(cfg.warpsPerCore > 0, "warpsPerCore must be > 0");
+    require(cfg.threadsPerWarp > 0, "threadsPerWarp must be > 0");
+    require(cfg.lsuWidth > 0, "lsuWidth must be > 0");
+    require(cfg.lineBits > 0 && cfg.lineBits < cfg.pageBits,
+            "lineBits must be in (0, pageBits)");
+    require(cfg.pageBits <= 30, "pageBits must be <= 30");
+
+    validateTlb("l1Tlb", cfg.l1Tlb);
+    validateTlb("l2Tlb", cfg.l2Tlb);
+    validateCache("pwCache", cfg.pwCache);
+    validateCache("l1d", cfg.l1d);
+    validateCache("l2", cfg.l2);
+
+    require(cfg.dram.channels > 0, "dram.channels must be > 0");
+    require(cfg.dram.banksPerChannel > 0,
+            "dram.banksPerChannel must be > 0");
+    require(cfg.dram.rowBytes > 0 && isPow2(cfg.dram.rowBytes),
+            "dram.rowBytes must be a power of two > 0");
+    require(cfg.dram.rowBytes >= cfg.lineBytes(),
+            "dram.rowBytes must be >= the cache line size");
+    require(cfg.dram.queueEntries > 0, "dram.queueEntries must be > 0");
+
+    require(cfg.walker.maxConcurrentWalks > 0,
+            "walker.maxConcurrentWalks must be > 0");
+    require(cfg.walker.levels > 0 && cfg.walker.levels <= 4,
+            "walker.levels must be in [1, 4]");
+
+    require(cfg.mask.epochCycles > 0, "mask.epochCycles must be > 0");
+    require(cfg.mask.initialTokenFraction > 0.0 &&
+                cfg.mask.initialTokenFraction <= 1.0,
+            "mask.initialTokenFraction must be within (0, 1]");
+    require(cfg.mask.tokenStepFraction > 0.0,
+            "mask.tokenStepFraction must be > 0");
+    require(cfg.mask.bypassCacheEntries > 0,
+            "mask.bypassCacheEntries must be > 0");
+    require(cfg.mask.sampleProbeInterval > 0,
+            "mask.sampleProbeInterval must be > 0");
+    require(cfg.mask.goldenQueueEntries > 0,
+            "mask.goldenQueueEntries must be > 0");
+    require(cfg.mask.silverQueueEntries > 0,
+            "mask.silverQueueEntries must be > 0");
+    require(cfg.mask.normalQueueEntries > 0,
+            "mask.normalQueueEntries must be > 0");
+    require(cfg.mask.threshMax > 0, "mask.threshMax must be > 0");
+
+    if (!cfg.coreShares.empty()) {
+        std::uint64_t total = 0;
+        for (const std::uint32_t share : cfg.coreShares) {
+            require(share > 0, "coreShares entries must be > 0");
+            total += share;
+        }
+        require(total == cfg.numCores,
+                "coreShares must sum to numCores");
+    }
+
+    require(!cfg.harden.watchdog.enabled ||
+                cfg.harden.watchdog.maxAge > 0,
+            "harden.watchdog.maxAge must be > 0 when enabled");
+    const FaultInjectConfig &fault = cfg.harden.fault;
+    validateProb("harden.fault.dramDelayProb", fault.dramDelayProb);
+    validateProb("harden.fault.walkDropProb", fault.walkDropProb);
+    validateProb("harden.fault.portStallProb", fault.portStallProb);
+    if (fault.enabled) {
+        require(fault.dramDelayProb == 0.0 ||
+                    fault.dramDelayCycles > 0,
+                "harden.fault.dramDelayCycles must be > 0");
+        require(!fault.walkDropRetry || fault.walkDropProb == 0.0 ||
+                    fault.walkRetryDelay > 0,
+                "harden.fault.walkRetryDelay must be > 0");
+        require(fault.portStallProb == 0.0 ||
+                    fault.portStallCycles > 0,
+                "harden.fault.portStallCycles must be > 0");
+    }
+}
+
+DesignPoint
+designPointByName(const std::string &name)
+{
+    for (const DesignPoint point : kAllDesignPoints) {
+        if (name == designPointName(point))
+            return point;
+    }
+    throw ConfigError("unknown design point name: " + name);
+}
 
 const char *
 designPointName(DesignPoint point)

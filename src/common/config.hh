@@ -9,12 +9,22 @@
 #define MASK_COMMON_CONFIG_HH
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "common/types.hh"
 
 namespace mask {
+
+/** A rejected configuration (validateConfig). */
+class ConfigError : public std::runtime_error
+{
+  public:
+    explicit ConfigError(const std::string &what)
+        : std::runtime_error("config error: " + what)
+    {}
+};
 
 /** Parameters of one cache-like structure. */
 struct CacheConfig
@@ -110,6 +120,59 @@ struct MaskConfig
 };
 
 /**
+ * Forward-progress watchdog (DESIGN.md §6 invariants, enforced at
+ * runtime). The GPU top level sweeps every in-flight structure on a
+ * fixed interval; any request, page walk, or TLB miss older than
+ * maxAge — and any queue occupancy above its configured bound — trips
+ * a SimInvariantError naming the stuck request chain.
+ */
+struct WatchdogConfig
+{
+    bool enabled = true;
+    /** Cycles between sweeps; 0 disables sweeping entirely. */
+    Cycle sweepInterval = 5000;
+    /** Oldest age (cycles) any in-flight work item may reach. */
+    Cycle maxAge = 200000;
+};
+
+/**
+ * Deterministic fault injection. All injectors draw from one
+ * RNG stream seeded by (seed, GpuConfig::seed), so a given
+ * configuration produces a bit-identical fault schedule on every run —
+ * the property the crash-replay flow depends on.
+ */
+struct FaultInjectConfig
+{
+    bool enabled = false;
+    std::uint64_t seed = 1;
+
+    /** Probability a DRAM response is held back dramDelayCycles. */
+    double dramDelayProb = 0.0;
+    Cycle dramDelayCycles = 500;
+
+    /** Probability a returning page-walk PTE fetch is dropped. */
+    double walkDropProb = 0.0;
+    /** Dropped fetches are reissued after walkRetryDelay when true;
+     *  when false the walk hangs and the watchdog must catch it. */
+    bool walkDropRetry = true;
+    Cycle walkRetryDelay = 200;
+
+    /** Spurious full TLB shootdown every this many cycles (0 = off). */
+    Cycle shootdownInterval = 0;
+
+    /** Probability per cycle the shared L2 TLB input port stalls. */
+    double portStallProb = 0.0;
+    Cycle portStallCycles = 8;
+};
+
+/** Hardening knobs: runtime invariant watchdog + fault injection. */
+struct HardenConfig
+{
+    WatchdogConfig watchdog;
+    FaultInjectConfig fault;
+};
+
+/**
  * Resource partitioning knobs for the Static baseline (Section 7):
  * NVIDIA GRID / AMD FirePro style fixed partitioning of the shared L2
  * cache and the memory channels across applications.
@@ -149,6 +212,7 @@ struct GpuConfig
     WalkerConfig walker;
     MaskConfig mask;
     PartitionConfig partition;
+    HardenConfig harden;
 
     /**
      * Explicit per-application core counts (must sum to numCores when
@@ -208,6 +272,17 @@ inline constexpr DesignPoint kAllDesignPoints[] = {
 
 /** Apply a design point to a base architecture configuration. */
 GpuConfig applyDesignPoint(GpuConfig base, DesignPoint point);
+
+/**
+ * Reject malformed configurations before they become downstream UB:
+ * zero-sized structures, non-power-of-two set counts, epoch = 0,
+ * out-of-range probabilities. Throws ConfigError with a message naming
+ * the offending field; the Gpu constructor calls this on every build.
+ */
+void validateConfig(const GpuConfig &cfg);
+
+/** Design point from its reporting name ("MASK-TLB", ...). */
+DesignPoint designPointByName(const std::string &name);
 
 /** Maxwell-like baseline architecture (paper Table 1). */
 GpuConfig maxwellConfig();

@@ -11,10 +11,10 @@
 #ifndef MASK_COMMON_MEMREQ_HH
 #define MASK_COMMON_MEMREQ_HH
 
-#include <cassert>
 #include <cstdint>
 #include <vector>
 
+#include "common/check.hh"
 #include "common/types.hh"
 
 namespace mask {
@@ -45,6 +45,8 @@ struct MemRequest
     bool l2StatsCounted = false;
     /** True while the request occupies a slot in some queue. */
     bool live = false;
+    /** Last pipeline location, for watchdog/crash diagnostics. */
+    const char *where = "alloc";
 
     Cycle issueCycle = 0;       //!< creation time
     Cycle dramEnqueueCycle = 0; //!< entry into a DRAM request buffer
@@ -74,7 +76,10 @@ class RequestPool
     void
     release(ReqId id)
     {
-        assert(id < reqs_.size() && reqs_[id].live);
+        SIM_CHECK_CTX(id < reqs_.size() && reqs_[id].live,
+                      "common.memreq", kUnknownCycle,
+                      "released request not live (double free?)",
+                      CheckContext{.reqId = id});
         reqs_[id].live = false;
         free_.push_back(id);
         --liveCount_;

@@ -1,6 +1,6 @@
 #include "dram/dram.hh"
 
-#include <cassert>
+#include "common/check.hh"
 
 namespace mask {
 
@@ -128,7 +128,10 @@ void
 DramChannel::enqueue(ReqId id, MemRequest &req, const DramCoord &coord,
                      Cycle now)
 {
-    assert(canEnqueue(req));
+    SIM_CHECK_CTX(canEnqueue(req), "dram.channel", now,
+                  "enqueue into a full request buffer",
+                  (CheckContext{.reqId = id, .app = req.app,
+                                .paddr = req.paddr}));
 
     DramQueueEntry entry;
     entry.id = id;
@@ -175,6 +178,27 @@ DramChannel::hasPendingRowHit(std::uint32_t bank_idx) const
             return true;
     }
     return false;
+}
+
+void
+DramChannel::checkQueueBounds(Cycle now, std::uint32_t channel_idx) const
+{
+    const std::string where =
+        "channel " + std::to_string(channel_idx);
+    if (mode_ == DramSchedMode::FrFcfs) {
+        SIM_CHECK(normal_.size() <= cfg_.queueEntries, "dram.queue",
+                  now, where + ": request buffer above queueEntries");
+        return;
+    }
+    SIM_CHECK(golden_.size() <= maskCfg_.goldenQueueEntries,
+              "dram.queue", now,
+              where + ": Golden Queue above its bound");
+    SIM_CHECK(silver_.size() <= maskCfg_.silverQueueEntries,
+              "dram.queue", now,
+              where + ": Silver Queue above its bound");
+    SIM_CHECK(normal_.size() <= maskCfg_.normalQueueEntries,
+              "dram.queue", now,
+              where + ": Normal Queue above its bound");
 }
 
 void
@@ -268,7 +292,8 @@ DramChannel::tick(Cycle now, RequestPool &pool)
             rotateSilverTurn();
 
         const int pick = frFcfsPick(silver_, banks_, now,
-                                    cfg_.starvationCap);
+                                    cfg_.starvationCap,
+                                    &stats_.capEscalations);
         if (pick >= 0) {
             // Bandwidth guard: a silver row-conflict defers briefly
             // to pending data row hits (same rationale as golden).
@@ -287,8 +312,9 @@ DramChannel::tick(Cycle now, RequestPool &pool)
         }
     }
 
-    const int pick =
-        frFcfsPick(normal_, banks_, now, cfg_.starvationCap);
+    const int pick = frFcfsPick(normal_, banks_, now,
+                                cfg_.starvationCap,
+                                &stats_.capEscalations);
     if (pick >= 0)
         service(normal_, static_cast<std::size_t>(pick), now, pool);
 }
@@ -371,6 +397,7 @@ Dram::aggregateStats() const
         agg.rowMisses += s.rowMisses;
         agg.rowConflicts += s.rowConflicts;
         agg.enqueueRejects += s.enqueueRejects;
+        agg.capEscalations += s.capEscalations;
     }
     return agg;
 }

@@ -106,6 +106,9 @@ struct DramChannelStats
     std::uint64_t rowMisses = 0;   //!< closed-row activates
     std::uint64_t rowConflicts = 0;
     std::uint64_t enqueueRejects = 0;
+    /** Starvation-cap escalations: requests serviced FCFS after being
+     *  bypassed starvationCap times by younger row hits. */
+    std::uint64_t capEscalations = 0;
 
     void
     reset()
@@ -160,6 +163,13 @@ class DramChannel
     std::size_t silverSize() const { return silver_.size(); }
     std::size_t normalSize() const { return normal_.size(); }
     AppId silverApp() const { return silverApp_; }
+
+    /**
+     * Watchdog hook: throw SimInvariantError if any queue exceeds its
+     * configured bound (Golden/Silver/Normal under MaskQueues, the
+     * single request buffer under FR-FCFS).
+     */
+    void checkQueueBounds(Cycle now, std::uint32_t channel_idx) const;
 
   private:
     struct Completion
@@ -227,6 +237,10 @@ class Dram
         return static_cast<std::uint32_t>(channels_.size());
     }
     DramChannel &channel(std::uint32_t idx) { return channels_[idx]; }
+    const DramChannel &channel(std::uint32_t idx) const
+    {
+        return channels_[idx];
+    }
     const AddressMapper &mapper() const { return mapper_; }
 
     /** Aggregate stats over all channels. */
@@ -244,11 +258,14 @@ class Dram
  * none is serviceable (bank ready) this cycle. Prefers the oldest
  * row-buffer hit, falling back to the oldest serviceable request, and
  * forces the queue head once it has been bypassed more than
- * @p starvation_cap times (Section 6 baseline policy).
+ * @p starvation_cap times (Section 6 baseline policy). Each forced
+ * pick increments @p cap_escalations when the caller provides it, so
+ * the cap's effect is observable in stats.
  */
 int frFcfsPick(std::vector<DramQueueEntry> &queue,
                const std::vector<DramBank> &banks, Cycle now,
-               std::uint32_t starvation_cap);
+               std::uint32_t starvation_cap,
+               std::uint64_t *cap_escalations = nullptr);
 
 } // namespace mask
 

@@ -12,7 +12,8 @@ namespace mask {
 int
 frFcfsPick(std::vector<DramQueueEntry> &queue,
            const std::vector<DramBank> &banks, Cycle now,
-           std::uint32_t starvation_cap)
+           std::uint32_t starvation_cap,
+           std::uint64_t *cap_escalations)
 {
     int oldest_serviceable = -1;
     int oldest_row_hit = -1;
@@ -38,8 +39,11 @@ frFcfsPick(std::vector<DramQueueEntry> &queue,
     // bypassed too many times, first-come-first-serve wins.
     DramQueueEntry &oldest = queue[oldest_serviceable];
     if (oldest_row_hit >= 0 && oldest_row_hit != oldest_serviceable) {
-        if (oldest.bypassed >= starvation_cap)
+        if (oldest.bypassed >= starvation_cap) {
+            if (cap_escalations != nullptr)
+                ++*cap_escalations;
             return oldest_serviceable;
+        }
         ++oldest.bypassed;
         return oldest_row_hit;
     }

@@ -1,0 +1,154 @@
+#include "sim/crash_repro.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace mask {
+
+std::string
+reproFilePath()
+{
+    if (const char *path = std::getenv(kReproFileEnv);
+        path != nullptr && path[0] != '\0') {
+        return path;
+    }
+    return "mask_crash.repro";
+}
+
+void
+writeRepro(const std::string &path, const CrashRepro &repro)
+{
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("cannot write repro file: " + path);
+
+    out << "arch " << repro.arch << "\n";
+    out << "design " << repro.design << "\n";
+    for (const std::string &bench : repro.benches)
+        out << "bench " << bench << "\n";
+    out << "seed " << repro.seed << "\n";
+    out << "warmup " << repro.warmup << "\n";
+    out << "measure " << repro.measure << "\n";
+
+    const WatchdogConfig &wd = repro.harden.watchdog;
+    out << "watchdog.enabled " << (wd.enabled ? 1 : 0) << "\n";
+    out << "watchdog.sweepInterval " << wd.sweepInterval << "\n";
+    out << "watchdog.maxAge " << wd.maxAge << "\n";
+
+    const FaultInjectConfig &f = repro.harden.fault;
+    out << "fault.enabled " << (f.enabled ? 1 : 0) << "\n";
+    out << "fault.seed " << f.seed << "\n";
+    out << "fault.dramDelayProb " << f.dramDelayProb << "\n";
+    out << "fault.dramDelayCycles " << f.dramDelayCycles << "\n";
+    out << "fault.walkDropProb " << f.walkDropProb << "\n";
+    out << "fault.walkDropRetry " << (f.walkDropRetry ? 1 : 0) << "\n";
+    out << "fault.walkRetryDelay " << f.walkRetryDelay << "\n";
+    out << "fault.shootdownInterval " << f.shootdownInterval << "\n";
+    out << "fault.portStallProb " << f.portStallProb << "\n";
+    out << "fault.portStallCycles " << f.portStallCycles << "\n";
+
+    out << "failCycle " << repro.failCycle << "\n";
+    out << "module " << repro.module << "\n";
+    out << "detail " << repro.detail << "\n";
+    if (!out)
+        throw std::runtime_error("short write to repro file: " + path);
+}
+
+CrashRepro
+loadRepro(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("cannot read repro file: " + path);
+
+    CrashRepro repro;
+    repro.benches.clear();
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream row(line);
+        std::string key;
+        row >> key;
+        std::string rest;
+        std::getline(row, rest);
+        if (!rest.empty() && rest.front() == ' ')
+            rest.erase(rest.begin());
+
+        WatchdogConfig &wd = repro.harden.watchdog;
+        FaultInjectConfig &f = repro.harden.fault;
+        if (key == "arch")
+            repro.arch = rest;
+        else if (key == "design")
+            repro.design = rest;
+        else if (key == "bench")
+            repro.benches.push_back(rest);
+        else if (key == "seed")
+            repro.seed = std::stoull(rest);
+        else if (key == "warmup")
+            repro.warmup = std::stoull(rest);
+        else if (key == "measure")
+            repro.measure = std::stoull(rest);
+        else if (key == "watchdog.enabled")
+            wd.enabled = rest != "0";
+        else if (key == "watchdog.sweepInterval")
+            wd.sweepInterval = std::stoull(rest);
+        else if (key == "watchdog.maxAge")
+            wd.maxAge = std::stoull(rest);
+        else if (key == "fault.enabled")
+            f.enabled = rest != "0";
+        else if (key == "fault.seed")
+            f.seed = std::stoull(rest);
+        else if (key == "fault.dramDelayProb")
+            f.dramDelayProb = std::stod(rest);
+        else if (key == "fault.dramDelayCycles")
+            f.dramDelayCycles = std::stoull(rest);
+        else if (key == "fault.walkDropProb")
+            f.walkDropProb = std::stod(rest);
+        else if (key == "fault.walkDropRetry")
+            f.walkDropRetry = rest != "0";
+        else if (key == "fault.walkRetryDelay")
+            f.walkRetryDelay = std::stoull(rest);
+        else if (key == "fault.shootdownInterval")
+            f.shootdownInterval = std::stoull(rest);
+        else if (key == "fault.portStallProb")
+            f.portStallProb = std::stod(rest);
+        else if (key == "fault.portStallCycles")
+            f.portStallCycles = std::stoull(rest);
+        else if (key == "failCycle")
+            repro.failCycle = std::stoull(rest);
+        else if (key == "module")
+            repro.module = rest;
+        else if (key == "detail")
+            repro.detail = rest;
+        else
+            throw std::runtime_error("repro file " + path +
+                                     ": unknown key '" + key + "'");
+    }
+    if (repro.benches.empty())
+        throw std::runtime_error("repro file " + path +
+                                 ": no bench entries");
+    return repro;
+}
+
+CrashRepro
+makeRepro(const GpuConfig &arch, DesignPoint point,
+          const std::vector<std::string> &benches, Cycle warmup,
+          Cycle measure, const SimInvariantError &err)
+{
+    CrashRepro repro;
+    repro.arch = arch.name;
+    repro.design = designPointName(point);
+    repro.benches = benches;
+    repro.seed = arch.seed;
+    repro.warmup = warmup;
+    repro.measure = measure;
+    repro.harden = arch.harden;
+    repro.failCycle = err.cycle();
+    repro.module = err.module();
+    repro.detail = err.detail();
+    return repro;
+}
+
+} // namespace mask

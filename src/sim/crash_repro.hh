@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Deterministic crash-replay records.
+ *
+ * When a SimInvariantError trips inside an Evaluator run, the runner
+ * serializes everything needed to re-execute to the failure — the
+ * architecture preset, design point, workload names, RNG seeds, run
+ * windows, and the hardening (watchdog + fault injection) knobs — to a
+ * small key/value repro file. `replayRepro` (and the `crash_replay`
+ * binary's `--replay <file>` flag) re-runs that configuration and
+ * reports whether the failure reproduces at the recorded cycle.
+ */
+
+#ifndef MASK_SIM_CRASH_REPRO_HH
+#define MASK_SIM_CRASH_REPRO_HH
+
+#include <string>
+#include <vector>
+
+#include "common/check.hh"
+#include "common/config.hh"
+
+namespace mask {
+
+/** Everything needed to re-run a crashed evaluation. */
+struct CrashRepro
+{
+    std::string arch = "maxwell";     //!< preset name (archByName)
+    std::string design = "SharedTLB"; //!< designPointName
+    std::vector<std::string> benches;
+    std::uint64_t seed = 1;
+    Cycle warmup = 0;
+    Cycle measure = 0;
+    HardenConfig harden;
+
+    // Failure snapshot.
+    Cycle failCycle = 0;
+    std::string module;
+    std::string detail;
+};
+
+/** Env var naming the repro output path (default "mask_crash.repro"). */
+constexpr const char *kReproFileEnv = "MASK_REPRO_FILE";
+
+/** Repro path honoring MASK_REPRO_FILE. */
+std::string reproFilePath();
+
+/** Serialize @p repro to @p path (throws std::runtime_error on I/O). */
+void writeRepro(const std::string &path, const CrashRepro &repro);
+
+/** Parse a repro file (throws std::runtime_error on a malformed file). */
+CrashRepro loadRepro(const std::string &path);
+
+/** Build the repro record for a failed run. */
+CrashRepro makeRepro(const GpuConfig &arch, DesignPoint point,
+                     const std::vector<std::string> &benches,
+                     Cycle warmup, Cycle measure,
+                     const SimInvariantError &err);
+
+} // namespace mask
+
+#endif // MASK_SIM_CRASH_REPRO_HH

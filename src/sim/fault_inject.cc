@@ -1,0 +1,71 @@
+#include "sim/fault_inject.hh"
+
+namespace mask {
+
+FaultInjector::FaultInjector(const FaultInjectConfig &cfg,
+                             std::uint64_t gpu_seed)
+    : cfg_(cfg),
+      // Distinct stream per (injector seed, simulation seed) pair so
+      // fault schedules never alias the workload generators'.
+      rng_(cfg.seed * 0x9e3779b97f4a7c15ull + gpu_seed + 0x5eedfaull)
+{
+    if (cfg_.enabled && cfg_.shootdownInterval > 0)
+        nextShootdown_ = cfg_.shootdownInterval;
+}
+
+Cycle
+FaultInjector::dramResponseDelay()
+{
+    if (!cfg_.enabled || cfg_.dramDelayProb <= 0.0)
+        return 0;
+    if (!rng_.chance(cfg_.dramDelayProb))
+        return 0;
+    ++delays_;
+    return cfg_.dramDelayCycles;
+}
+
+bool
+FaultInjector::dropWalkFetch()
+{
+    if (!cfg_.enabled || cfg_.walkDropProb <= 0.0)
+        return false;
+    if (!rng_.chance(cfg_.walkDropProb))
+        return false;
+    ++drops_;
+    return true;
+}
+
+bool
+FaultInjector::shootdownDue(Cycle now)
+{
+    if (!cfg_.enabled || cfg_.shootdownInterval == 0 ||
+        now < nextShootdown_) {
+        return false;
+    }
+    nextShootdown_ = now + cfg_.shootdownInterval;
+    ++shootdowns_;
+    return true;
+}
+
+std::uint32_t
+FaultInjector::pickApp(std::uint32_t num_apps)
+{
+    return static_cast<std::uint32_t>(rng_.below(num_apps));
+}
+
+bool
+FaultInjector::portStalled(Cycle now)
+{
+    if (!cfg_.enabled || cfg_.portStallProb <= 0.0)
+        return false;
+    if (now < stallUntil_)
+        return true;
+    if (rng_.chance(cfg_.portStallProb)) {
+        stallUntil_ = now + cfg_.portStallCycles;
+        ++portStalls_;
+        return true;
+    }
+    return false;
+}
+
+} // namespace mask

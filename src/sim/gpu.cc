@@ -1,11 +1,21 @@
 #include "sim/gpu.hh"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.hh"
 
 namespace mask {
 
 namespace {
+
+/** Validate before any member construction touches derived quantities
+ *  (e.g. numSets() divides by lineBytes); cfg_ is the first member. */
+const GpuConfig &
+validatedRef(const GpuConfig &cfg)
+{
+    validateConfig(cfg);
+    return cfg;
+}
 
 /** Warps per application used to size the token pool. */
 std::uint32_t
@@ -32,7 +42,7 @@ GpuStats::dramBusUtil(ReqType type, std::uint32_t channels) const
 }
 
 Gpu::Gpu(const GpuConfig &cfg, const std::vector<AppDesc> &apps)
-    : cfg_(cfg),
+    : cfg_(validatedRef(cfg)),
       frames_(cfg.pageBits),
       l2Tlb_(cfg.l2Tlb),
       l2TlbPipe_(cfg.l2Tlb.ports, cfg.l2Tlb.latency),
@@ -48,6 +58,9 @@ Gpu::Gpu(const GpuConfig &cfg, const std::vector<AppDesc> &apps)
                                : DramSchedMode::FrFcfs,
             static_cast<std::uint32_t>(apps.size()),
             cfg.partition.partitionDramChannels),
+      watchdog_(cfg.harden.watchdog),
+      faults_(cfg.harden.fault, cfg.seed),
+      tokenWarpsPerApp_(warpsPerApp(cfg, apps.size())),
       tokens_(cfg.mask, static_cast<std::uint32_t>(apps.size()),
               warpsPerApp(cfg, apps.size())),
       bypassCache_(cfg.mask),
@@ -57,7 +70,8 @@ Gpu::Gpu(const GpuConfig &cfg, const std::vector<AppDesc> &apps)
       walkSampler_(10000),
       readySampler_(10000)
 {
-    assert(!apps.empty());
+    SIM_CHECK(!apps.empty(), "sim.gpu", kUnknownCycle,
+              "Gpu constructed with no applications");
 
     l2Input_.resize(cfg_.l2.banks);
     coreTransWaiters_.resize(cfg_.numCores);
@@ -124,6 +138,7 @@ Gpu::run(Cycle cycles)
 void
 Gpu::tickOne()
 {
+    stageFaults();
     stageDram();
     stageL2Cache();
     if (cfg_.design == TranslationDesign::PwCache)
@@ -135,6 +150,7 @@ Gpu::tickOne()
     stageSamplers();
     stageEpoch();
     stageSwitches();
+    stageWatchdog();
     ++now_;
 }
 
@@ -151,6 +167,16 @@ Gpu::stageDram()
     while (!done.empty()) {
         const ReqId id = done.front();
         done.pop_front();
+        if (faults_.enabled()) {
+            const Cycle delay = faults_.dramResponseDelay();
+            if (delay > 0) {
+                // Hold the response back; released by stageFaults.
+                // FIFO stays cycle-sorted because the delay is fixed.
+                pool_[id].where = "fault-delay";
+                delayedResponses_.emplace_back(now_ + delay, id);
+                continue;
+            }
+        }
         onMemResponse(id);
     }
 
@@ -158,11 +184,62 @@ Gpu::stageDram()
     for (std::size_t n = dramRetry_.size(); n > 0; --n) {
         const ReqId id = dramRetry_.front();
         dramRetry_.pop_front();
-        if (dram_.canEnqueue(pool_[id]))
+        if (dram_.canEnqueue(pool_[id])) {
+            pool_[id].where = "dram-queue";
             dram_.enqueue(id, pool_[id], now_);
-        else
+        } else {
             dramRetry_.push_back(id);
+        }
     }
+}
+
+// ---------------------------------------------------------------------
+// Hardening stages
+// ---------------------------------------------------------------------
+
+void
+Gpu::stageFaults()
+{
+    if (!faults_.enabled())
+        return;
+    while (!delayedResponses_.empty() &&
+           delayedResponses_.front().first <= now_) {
+        const ReqId id = delayedResponses_.front().second;
+        delayedResponses_.pop_front();
+        onMemResponse(id);
+    }
+    while (!fetchRetry_.empty() && fetchRetry_.front().first <= now_) {
+        const WalkId walk = fetchRetry_.front().second;
+        fetchRetry_.pop_front();
+        issueWalkFetch(walk);
+    }
+    if (faults_.shootdownDue(now_)) {
+        const auto victim = faults_.pickApp(
+            static_cast<std::uint32_t>(apps_.size()));
+        tlbShootdown(apps_[victim].asid);
+    }
+}
+
+void
+Gpu::stageWatchdog()
+{
+    if (watchdog_.due(now_))
+        watchdogSweepNow();
+}
+
+void
+Gpu::watchdogSweepNow()
+{
+    WatchdogView view;
+    view.pool = &pool_;
+    view.tlbMshr = &tlbMshr_;
+    view.walker = &walker_;
+    view.dram = &dram_;
+    view.tokens = &tokens_;
+    view.numApps = static_cast<std::uint32_t>(apps_.size());
+    view.warpsPerApp = tokenWarpsPerApp_;
+    view.tokensEnabled = cfg_.mask.tlbTokens;
+    watchdog_.sweep(now_, view);
 }
 
 void
@@ -274,10 +351,12 @@ Gpu::l2LookupDone(ReqId id)
         sendToDram(id);
         break;
       case MshrTable::Outcome::Merged:
+        req.where = "l2-mshr-merged";
         break;
       case MshrTable::Outcome::Full:
         // Retry the lookup next cycle through the bank input queue;
         // the line may be present (or an MSHR free) by then.
+        req.where = "l2-mshr-full-retry";
         l2Input_[l2Pipe_.bankFor(key)].push_back(id);
         break;
     }
@@ -299,6 +378,7 @@ Gpu::sendToL2(ReqId id)
             sendToDram(id);
             break;
           case MshrTable::Outcome::Merged:
+            req.where = "l2-mshr-merged";
             break;
           case MshrTable::Outcome::Full:
             // Rare: forward unmerged rather than stall the walker.
@@ -308,6 +388,7 @@ Gpu::sendToL2(ReqId id)
         return;
     }
     const std::uint64_t key = l2CacheKey(req.paddr);
+    req.where = "l2-input";
     l2Input_[l2Pipe_.bankFor(key)].push_back(id);
 }
 
@@ -316,9 +397,11 @@ Gpu::sendToDram(ReqId id)
 {
     MemRequest &req = pool_[id];
     if (dram_.canEnqueue(req)) {
+        req.where = "dram-queue";
         dram_.enqueue(id, req, now_);
     } else {
         dram_.noteReject(req);
+        req.where = "dram-retry";
         dramRetry_.push_back(id);
     }
 }
@@ -358,6 +441,10 @@ Gpu::stageL2Tlb()
     while (l2TlbPipe_.hasReady(now_))
         resolveL2TlbLookup(
             static_cast<std::uint32_t>(l2TlbPipe_.pop()));
+    // Injected transient port stall: lookups already in the pipe keep
+    // draining, but no new probe enters this cycle.
+    if (faults_.enabled() && faults_.portStalled(now_))
+        return;
     while (!l2TlbInput_.empty() && l2TlbPipe_.canAccept(now_)) {
         l2TlbPipe_.push(l2TlbInput_.front(), now_);
         l2TlbInput_.pop_front();
@@ -467,24 +554,36 @@ Gpu::issueWalkFetch(WalkId walk)
     req.pwLevel = walker_.fetchLevel(walk);
     req.walkId = walk;
     req.issueCycle = now_;
+    req.where = "walk-dispatch";
     dispatchTranslationRequest(id);
 }
 
 void
 Gpu::dispatchTranslationRequest(ReqId id)
 {
-    if (cfg_.design == TranslationDesign::PwCache)
+    if (cfg_.design == TranslationDesign::PwCache) {
+        pool_[id].where = "pwcache-input";
         pwInput_.push_back(id);
-    else
+    } else {
         sendToL2(id);
+    }
 }
 
 void
 Gpu::walkFetchReturned(ReqId id)
 {
-    MemRequest &req = pool_[id];
-    const WalkId walk = req.walkId;
+    const WalkId walk = pool_[id].walkId;
     pool_.release(id);
+    if (faults_.enabled() && faults_.dropWalkFetch()) {
+        // The PTE read is lost before reaching the walker. With retry
+        // the fetch is reissued after a delay (the walk recovers);
+        // without it the walk hangs until the watchdog trips.
+        if (faults_.retryDroppedFetch()) {
+            fetchRetry_.emplace_back(now_ + faults_.walkRetryDelay(),
+                                     walk);
+        }
+        return;
+    }
     if (walker_.fetchComplete(walk, now_))
         finishWalk(walk);
 }
@@ -496,7 +595,10 @@ Gpu::finishWalk(WalkId walk)
     walker_.release(walk);
 
     const Pfn pfn = pageTables_[info.app]->lookup(info.vpn);
-    assert(pfn != kInvalidPfn && "walk finished for unmapped page");
+    SIM_CHECK_CTX(pfn != kInvalidPfn, "sim.gpu", now_,
+                  "walk finished for unmapped page",
+                  (CheckContext{.asid = info.asid, .vpn = info.vpn,
+                                .app = info.app, .walkId = walk}));
 
     TlbMshrTable::Entry entry = tlbMshr_.complete(info.asid, info.vpn);
     tlbMissLatency_.add(
@@ -534,7 +636,11 @@ Gpu::fillL2TlbOnWalkDone(const TlbMshrTable::Entry &entry, Pfn pfn)
         // The warp that triggered the walk decides where the PTE
         // lands: shared L2 TLB if it holds a token, bypass cache
         // otherwise (Section 5.2).
-        assert(!entry.waiters.empty());
+        SIM_CHECK_CTX(!entry.waiters.empty(), "sim.gpu", now_,
+                      "walk completed with no recorded waiters",
+                      (CheckContext{.asid = entry.asid,
+                                    .vpn = entry.vpn,
+                                    .app = entry.app}));
         const StalledAccess &primary = entry.waiters.front();
         const std::uint32_t warp_index =
             coreAppIndex_[primary.core] * cfg_.warpsPerCore +
@@ -634,11 +740,14 @@ Gpu::completeCoreTranslation(CoreId core, Asid asid, Vpn vpn, AppId app,
 
     auto &waiters = coreTransWaiters_[core];
     auto it = waiters.find(tlbKey(asid, vpn));
-    assert(it != waiters.end() &&
-           "translation completed with no core waiters");
+    SIM_CHECK_CTX(it != waiters.end(), "sim.gpu", now_,
+                  "translation completed with no core waiters",
+                  (CheckContext{.asid = asid, .vpn = vpn, .app = app}));
     std::vector<StalledAccess> parked = std::move(it->second);
     waiters.erase(it);
-    assert(stalledAccesses_[app] >= parked.size());
+    SIM_CHECK_CTX(stalledAccesses_[app] >= parked.size(), "sim.gpu",
+                  now_, "stalled-access counter underflow on wakeup",
+                  (CheckContext{.asid = asid, .vpn = vpn, .app = app}));
     stalledAccesses_[app] -= static_cast<std::uint32_t>(parked.size());
     for (const StalledAccess &access : parked)
         startDataAccess(access, app, pfn);
@@ -776,6 +885,16 @@ Gpu::stageSwitches()
             continue;
         }
         ShaderCore &core = *cores_[c];
+        // A drained core must have no residual miss state: leaked L1
+        // MSHR entries or parked translations would silently corrupt
+        // the incoming app (drained() means outstanding == 0).
+        SIM_CHECK_CTX(core.l1Mshr().size() == 0, "sim.gpu", now_,
+                      "core switched apps with live L1 MSHR entries",
+                      (CheckContext{.app = core.app()}));
+        SIM_CHECK_CTX(coreTransWaiters_[c].empty(), "sim.gpu", now_,
+                      "core switched apps with parked translation "
+                      "waiters",
+                      (CheckContext{.app = core.app()}));
         // Credit what the outgoing app executed on this core.
         appInstr_[core.app()] +=
             core.instructions() - coreInstrCredited_[c];
@@ -815,7 +934,8 @@ Gpu::allocTransSlot(const StalledAccess &access, Asid asid, Vpn vpn,
 void
 Gpu::freeTransSlot(std::uint32_t slot)
 {
-    assert(transSlots_[slot].inUse);
+    SIM_CHECK(transSlots_[slot].inUse, "sim.gpu", now_,
+              "freed a translation slot not in use");
     transSlots_[slot].inUse = false;
     freeTransSlots_.push_back(slot);
 }
@@ -864,6 +984,7 @@ Gpu::resetStats()
     for (auto &sampler : walkSamplerPerApp_)
         sampler.reset();
     readySampler_.reset();
+    watchdog_.resetStats();
 }
 
 GpuStats
@@ -909,6 +1030,11 @@ Gpu::collect()
     for (AppId a = 0; a < apps_.size(); ++a)
         out.tokens.push_back(tokens_.tokens(a));
     out.l2Bypasses = l2Policy_.bypasses();
+    out.watchdogSweeps = watchdog_.sweeps();
+    out.watchdogMaxAgeSeen = watchdog_.maxAgeSeen();
+    out.faultsInjected =
+        faults_.delaysInjected() + faults_.dropsInjected() +
+        faults_.shootdownsInjected() + faults_.portStallsInjected();
     return out;
 }
 

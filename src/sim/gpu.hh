@@ -29,6 +29,8 @@
 #include "mask/dram_sched.hh"
 #include "mask/l2_bypass.hh"
 #include "mask/tokens.hh"
+#include "sim/fault_inject.hh"
+#include "sim/watchdog.hh"
 #include "tlb/tlb.hh"
 #include "tlb/tlb_mshr.hh"
 #include "vm/page_table.hh"
@@ -75,6 +77,11 @@ struct GpuStats
     std::uint64_t l2Bypasses = 0;
 
     std::uint64_t warpStallCycles = 0;
+
+    // Hardening telemetry.
+    std::uint64_t watchdogSweeps = 0;
+    Cycle watchdogMaxAgeSeen = 0;  //!< oldest in-flight age observed
+    std::uint64_t faultsInjected = 0;
 
     /** Weighted fraction of peak DRAM bandwidth used, by type. */
     double dramBusUtil(ReqType type, std::uint32_t channels) const;
@@ -155,6 +162,15 @@ class Gpu
     }
     /** In-flight requests below the L1 structures. */
     std::size_t inFlightRequests() const { return pool_.liveCount(); }
+    Watchdog &watchdog() { return watchdog_; }
+    FaultInjector &faultInjector() { return faults_; }
+
+    /**
+     * Run a forward-progress sweep immediately (the per-interval sweep
+     * calls this from tickOne). Throws SimInvariantError on any stuck
+     * request, leaked MSHR, queue-bound or token-bound violation.
+     */
+    void watchdogSweepNow();
 
   private:
     struct AppContext
@@ -192,6 +208,7 @@ class Gpu
     };
 
     // --- Pipeline stages (called from tickOne in order) ---
+    void stageFaults();
     void stageDram();
     void stageL2Cache();
     void stagePwCache();
@@ -201,6 +218,7 @@ class Gpu
     void stageEpoch();
     void stageSwitches();
     void stageSamplers();
+    void stageWatchdog();
 
     // --- Request plumbing ---
     std::uint32_t allocTransSlot(const StalledAccess &access, Asid asid,
@@ -277,6 +295,16 @@ class Gpu
     // DRAM.
     Dram dram_;
     std::deque<ReqId> dramRetry_;
+
+    // Hardening: watchdog + deterministic fault injection.
+    Watchdog watchdog_;
+    FaultInjector faults_;
+    std::uint32_t tokenWarpsPerApp_ = 0;
+    /** DRAM responses held back by the injector; FIFO, release cycle
+     *  is monotonic because the injected delay is constant. */
+    std::deque<std::pair<Cycle, ReqId>> delayedResponses_;
+    /** Dropped-then-retried walk fetches awaiting reissue. */
+    std::deque<std::pair<Cycle, WalkId>> fetchRetry_;
 
     // MASK mechanisms.
     TokenManager tokens_;

@@ -1,8 +1,10 @@
 #include "sim/runner.hh"
 
+#include <cstdio>
 #include <cstdlib>
 
 #include "metrics/metrics.hh"
+#include "sim/presets.hh"
 
 namespace mask {
 
@@ -37,6 +39,33 @@ toAppDescs(const std::vector<std::string> &bench_names)
     return apps;
 }
 
+/**
+ * A hard invariant tripped mid-run: persist a deterministic repro
+ * record, print the diagnostic block, and rethrow for the caller.
+ */
+[[noreturn]] void
+captureCrash(const GpuConfig &arch, DesignPoint point,
+             const std::vector<std::string> &benches,
+             const RunOptions &options, const SimInvariantError &err)
+{
+    const CrashRepro repro = makeRepro(arch, point, benches,
+                                       options.warmup,
+                                       options.measure, err);
+    const std::string path = reproFilePath();
+    std::fputs(err.diagnostic().c_str(), stderr);
+    try {
+        writeRepro(path, repro);
+        std::fprintf(stderr,
+                     "repro written to %s (re-run with: crash_replay "
+                     "--replay %s)\n",
+                     path.c_str(), path.c_str());
+    } catch (const std::exception &io) {
+        std::fprintf(stderr, "failed to write repro file: %s\n",
+                     io.what());
+    }
+    throw err;
+}
+
 } // namespace
 
 GpuStats
@@ -44,11 +73,15 @@ Evaluator::runShared(const GpuConfig &arch, DesignPoint point,
                      const std::vector<std::string> &bench_names)
 {
     const GpuConfig cfg = applyDesignPoint(arch, point);
-    Gpu gpu(cfg, toAppDescs(bench_names));
-    gpu.run(options_.warmup);
-    gpu.resetStats();
-    gpu.run(options_.measure);
-    return gpu.collect();
+    try {
+        Gpu gpu(cfg, toAppDescs(bench_names));
+        gpu.run(options_.warmup);
+        gpu.resetStats();
+        gpu.run(options_.measure);
+        return gpu.collect();
+    } catch (const SimInvariantError &err) {
+        captureCrash(arch, point, bench_names, options_, err);
+    }
 }
 
 double
@@ -64,13 +97,20 @@ Evaluator::aloneIpc(const GpuConfig &arch, DesignPoint point,
 
     GpuConfig cfg = applyDesignPoint(arch, point);
     cfg.numCores = cores;
-    Gpu gpu(cfg, toAppDescs({bench}));
-    gpu.run(options_.warmup);
-    gpu.resetStats();
-    gpu.run(options_.measure);
-    const double ipc = gpu.collect().ipc[0];
-    aloneCache_.emplace(key, ipc);
-    return ipc;
+    // The alone run gives this app the whole (shrunken) GPU; shares
+    // sized for the shared-run app count would be stale here.
+    cfg.coreShares.clear();
+    try {
+        Gpu gpu(cfg, toAppDescs({bench}));
+        gpu.run(options_.warmup);
+        gpu.resetStats();
+        gpu.run(options_.measure);
+        const double ipc = gpu.collect().ipc[0];
+        aloneCache_.emplace(key, ipc);
+        return ipc;
+    } catch (const SimInvariantError &err) {
+        captureCrash(cfg, point, {bench}, options_, err);
+    }
 }
 
 PairResult
@@ -119,6 +159,32 @@ searchBestPartition(Evaluator &eval, const GpuConfig &arch,
     if (!have_best)
         best = eval.evaluate(arch, point, pair);
     return best;
+}
+
+ReplayResult
+replayRepro(const CrashRepro &repro)
+{
+    GpuConfig arch = archByName(repro.arch);
+    arch.seed = repro.seed;
+    arch.harden = repro.harden;
+    const DesignPoint point = designPointByName(repro.design);
+
+    ReplayResult out;
+    try {
+        const GpuConfig cfg = applyDesignPoint(arch, point);
+        Gpu gpu(cfg, toAppDescs(repro.benches));
+        gpu.run(repro.warmup);
+        gpu.resetStats();
+        gpu.run(repro.measure);
+    } catch (const SimInvariantError &err) {
+        out.reproduced = true;
+        out.failCycle = err.cycle();
+        out.module = err.module();
+        out.detail = err.detail();
+        out.sameCycle = err.cycle() == repro.failCycle;
+        out.sameModule = err.module() == repro.module;
+    }
+    return out;
 }
 
 } // namespace mask

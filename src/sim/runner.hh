@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/config.hh"
+#include "sim/crash_repro.hh"
 #include "sim/gpu.hh"
 #include "workload/suite.hh"
 
@@ -86,6 +87,25 @@ PairResult searchBestPartition(Evaluator &eval, const GpuConfig &arch,
                                DesignPoint point,
                                const std::vector<std::string> &pair,
                                std::uint32_t step);
+
+/** Outcome of replaying a crash-repro record. */
+struct ReplayResult
+{
+    bool reproduced = false; //!< an invariant tripped during replay
+    bool sameCycle = false;  //!< ...at the recorded cycle
+    bool sameModule = false; //!< ...in the recorded module
+    Cycle failCycle = 0;
+    std::string module;
+    std::string detail;
+};
+
+/**
+ * Re-run the configuration recorded in @p repro (preset architecture,
+ * design point, benches, seeds, hardening knobs) and report whether
+ * the recorded failure reproduces. Deterministic: a faithful record
+ * reproduces at exactly the recorded cycle.
+ */
+ReplayResult replayRepro(const CrashRepro &repro);
 
 } // namespace mask
 

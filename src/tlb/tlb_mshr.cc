@@ -1,6 +1,6 @@
 #include "tlb/tlb_mshr.hh"
 
-#include <cassert>
+#include "common/check.hh"
 
 namespace mask {
 
@@ -52,7 +52,9 @@ TlbMshrTable::Entry &
 TlbMshrTable::get(Asid asid, Vpn vpn)
 {
     auto it = table_.find(tlbKey(asid, vpn));
-    assert(it != table_.end());
+    SIM_CHECK_CTX(it != table_.end(), "tlb.mshr", kUnknownCycle,
+                  "get() on a translation with no MSHR entry",
+                  (CheckContext{.asid = asid, .vpn = vpn}));
     return it->second;
 }
 
@@ -60,15 +62,24 @@ TlbMshrTable::Entry
 TlbMshrTable::complete(Asid asid, Vpn vpn)
 {
     auto it = table_.find(tlbKey(asid, vpn));
-    assert(it != table_.end() && "completing unknown TLB miss");
+    SIM_CHECK_CTX(it != table_.end(), "tlb.mshr", kUnknownCycle,
+                  "completing a TLB miss with no MSHR entry",
+                  (CheckContext{.asid = asid, .vpn = vpn}));
     Entry entry = std::move(it->second);
     table_.erase(it);
 
     const auto waiters = static_cast<std::uint32_t>(entry.waiters.size());
-    assert(stalledWarps_ >= waiters);
+    SIM_CHECK_CTX(stalledWarps_ >= waiters, "tlb.mshr", kUnknownCycle,
+                  "stalled-warp count underflow on completion",
+                  (CheckContext{.asid = asid, .vpn = vpn,
+                                .app = entry.app}));
     stalledWarps_ -= waiters;
-    assert(entry.app < stalledPerApp_.size() &&
-           stalledPerApp_[entry.app] >= waiters);
+    SIM_CHECK_CTX(entry.app < stalledPerApp_.size() &&
+                      stalledPerApp_[entry.app] >= waiters,
+                  "tlb.mshr", kUnknownCycle,
+                  "per-app stalled-warp count underflow",
+                  (CheckContext{.asid = asid, .vpn = vpn,
+                                .app = entry.app}));
     stalledPerApp_[entry.app] -= waiters;
 
     warpsPerMiss_.add(static_cast<double>(entry.maxWarpsStalled));

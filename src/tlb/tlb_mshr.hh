@@ -78,6 +78,12 @@ class TlbMshrTable
     /** Total warps currently stalled across all entries. */
     std::uint32_t stalledWarps() const { return stalledWarps_; }
 
+    /** All outstanding entries, keyed by tlbKey (watchdog sweeps). */
+    const std::unordered_map<std::uint64_t, Entry> &entries() const
+    {
+        return table_;
+    }
+
     /** Warps currently stalled for one application. */
     std::uint32_t stalledWarpsFor(AppId app) const;
 

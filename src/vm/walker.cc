@@ -1,6 +1,6 @@
 #include "vm/walker.hh"
 
-#include <cassert>
+#include "common/check.hh"
 
 namespace mask {
 
@@ -17,7 +17,9 @@ PageTableWalker::startWalk(Asid asid, Vpn vpn, AppId app,
                            const std::array<Addr, kPtLevels> &pte_addrs,
                            Cycle now)
 {
-    assert(hasCapacity());
+    SIM_CHECK_CTX(hasCapacity(), "vm.walker", now,
+                  "startWalk with no free walker thread",
+                  (CheckContext{.asid = asid, .vpn = vpn, .app = app}));
     const WalkId id = freeSlots_.back();
     freeSlots_.pop_back();
 
@@ -40,7 +42,8 @@ PageTableWalker::startWalk(Asid asid, Vpn vpn, AppId app,
 WalkId
 PageTableWalker::popPendingFetch()
 {
-    assert(!fetchQueue_.empty());
+    SIM_CHECK(!fetchQueue_.empty(), "vm.walker", kUnknownCycle,
+              "popPendingFetch with no pending fetch");
     const WalkId id = fetchQueue_.front();
     fetchQueue_.pop_front();
     return id;
@@ -50,14 +53,18 @@ Addr
 PageTableWalker::fetchAddr(WalkId walk) const
 {
     const Slot &slot = slots_[walk];
-    assert(slot.inUse);
+    SIM_CHECK_CTX(slot.inUse, "vm.walker", kUnknownCycle,
+                  "fetchAddr on a released walk",
+                  CheckContext{.walkId = walk});
     return slot.pteAddrs[slot.level - 1];
 }
 
 std::uint8_t
 PageTableWalker::fetchLevel(WalkId walk) const
 {
-    assert(slots_[walk].inUse);
+    SIM_CHECK_CTX(slots_[walk].inUse, "vm.walker", kUnknownCycle,
+                  "fetchLevel on a released walk",
+                  CheckContext{.walkId = walk});
     return slots_[walk].level;
 }
 
@@ -65,7 +72,9 @@ bool
 PageTableWalker::fetchComplete(WalkId walk, Cycle now)
 {
     Slot &slot = slots_[walk];
-    assert(slot.inUse);
+    SIM_CHECK_CTX(slot.inUse, "vm.walker", now,
+                  "fetch completion for a released walk",
+                  CheckContext{.walkId = walk});
     if (slot.level == cfg_.levels) {
         walkLatency_.add(
             static_cast<double>(now - slot.info.startCycle));
@@ -79,7 +88,9 @@ PageTableWalker::fetchComplete(WalkId walk, Cycle now)
 const PageTableWalker::WalkInfo &
 PageTableWalker::info(WalkId walk) const
 {
-    assert(slots_[walk].inUse);
+    SIM_CHECK_CTX(slots_[walk].inUse, "vm.walker", kUnknownCycle,
+                  "info on a released walk",
+                  CheckContext{.walkId = walk});
     return slots_[walk].info;
 }
 
@@ -87,12 +98,30 @@ void
 PageTableWalker::release(WalkId walk)
 {
     Slot &slot = slots_[walk];
-    assert(slot.inUse);
+    SIM_CHECK_CTX(slot.inUse, "vm.walker", kUnknownCycle,
+                  "double release of a walker slot",
+                  CheckContext{.walkId = walk});
     slot.inUse = false;
-    assert(activePerApp_[slot.info.app] > 0 && active_ > 0);
+    SIM_CHECK_CTX(activePerApp_[slot.info.app] > 0 && active_ > 0,
+                  "vm.walker", kUnknownCycle,
+                  "active-walk count underflow on release",
+                  (CheckContext{.app = slot.info.app,
+                                .walkId = walk}));
     --activePerApp_[slot.info.app];
     --active_;
     freeSlots_.push_back(walk);
+}
+
+std::vector<WalkId>
+PageTableWalker::activeWalkIds() const
+{
+    std::vector<WalkId> ids;
+    ids.reserve(active_);
+    for (WalkId id = 0; id < slots_.size(); ++id) {
+        if (slots_[id].inUse)
+            ids.push_back(id);
+    }
+    return ids;
 }
 
 std::uint32_t

@@ -80,6 +80,9 @@ class PageTableWalker
     /** Walks currently in flight (Fig. 5 metric, ConPTW of Eq. 1). */
     std::uint32_t activeWalks() const { return active_; }
 
+    /** Ids of all in-flight walks in slot order (watchdog sweeps). */
+    std::vector<WalkId> activeWalkIds() const;
+
     /** Walks in flight for one application (ConPTW_i of Eq. 1). */
     std::uint32_t activeWalksFor(AppId app) const;
 

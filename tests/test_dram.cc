@@ -163,6 +163,62 @@ TEST(FrFcfs, StarvationCapForcesOldest)
     EXPECT_NE(forced, -1) << "old conflict starved forever";
 }
 
+TEST(FrFcfs, StarvationCapEscalationsAreCounted)
+{
+    // Adversarial stream: one old row-conflict request parked behind
+    // a steady supply of younger row hits. The cap must eventually
+    // force the old request and each forced pick must be counted.
+    DramConfig cfg = testDram();
+    cfg.channels = 1;
+    cfg.banksPerChannel = 1;
+    cfg.queueEntries = 64;
+    cfg.starvationCap = 4;
+    RequestPool pool;
+    Dram dram(cfg, MaskConfig{}, 7, DramSchedMode::FrFcfs, 1, false);
+
+    const Addr row_hit_base = 0;              // row 0
+    const Addr victim_addr = Addr{cfg.rowBytes}; // row 1, same bank
+
+    Cycle t = 0;
+    int in_flight = 0;
+    auto issue = [&](Addr addr) {
+        const ReqId id = pool.alloc();
+        pool[id] = dataReq(addr);
+        ASSERT_TRUE(dram.canEnqueue(pool[id]));
+        dram.enqueue(id, pool[id], t);
+        ++in_flight;
+    };
+
+    issue(row_hit_base); // opens row 0
+    issue(victim_addr);  // conflict: parked behind the hit stream
+    const ReqId victim = 1;
+
+    bool victim_done = false;
+    Addr next_line = 128;
+    for (; t < 4000 && !victim_done; ++t) {
+        // Keep a steady supply of row-0 hits queued (deep enough
+        // that service-to-completion latency never drains the queue).
+        while (in_flight < 10) {
+            issue(row_hit_base + next_line);
+            next_line = (next_line + 128) % cfg.rowBytes;
+            if (next_line == 0)
+                next_line = 128;
+        }
+        dram.tick(t, pool);
+        auto &done = dram.completed();
+        while (!done.empty()) {
+            const ReqId id = done.front();
+            done.pop_front();
+            victim_done |= (id == victim);
+            --in_flight;
+        }
+    }
+
+    EXPECT_TRUE(victim_done)
+        << "starvation cap never forced the old conflict";
+    EXPECT_GT(dram.aggregateStats().capEscalations, 0u);
+}
+
 // ---------------------------------------------------------------------
 // DramChannel / Dram timing and service
 // ---------------------------------------------------------------------

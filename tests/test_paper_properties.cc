@@ -207,5 +207,63 @@ TEST(PaperProperties, TokensAdaptUnderThrash)
     EXPECT_GT(stats.bypassCache.accesses(), 0u);
 }
 
+TEST(PaperProperties, ShootdownsPreserveIsolationAndCorrectness)
+{
+    // Section 5.1 requirement behind all MASK mechanisms: concurrent
+    // address spaces never observe each other's translations, even
+    // when spurious full shootdowns are injected mid-run, and every
+    // post-flush walk re-reads the live page table.
+    GpuConfig cfg =
+        applyDesignPoint(paperGpu(), DesignPoint::SharedTlb);
+    cfg.harden.fault.enabled = true;
+    cfg.harden.fault.shootdownInterval = 3000;
+    const BenchmarkParams a = tlbHeavy();
+    const BenchmarkParams b = streaming();
+    Gpu gpu(cfg, {AppDesc{&a}, AppDesc{&b}});
+    gpu.run(15000);
+
+    // Remap one page of app 0 behind the TLBs' backs, the way a
+    // driver migrating a page would, then shoot its ASID down.
+    Vpn remapped = kInvalidPfn;
+    for (Vpn vpn = 0; vpn < 200000; ++vpn) {
+        if (gpu.sharedTlb().probe(1, vpn)) {
+            remapped = vpn;
+            break;
+        }
+    }
+    ASSERT_NE(remapped, kInvalidPfn) << "no ASID-1 entry cached";
+    ASSERT_TRUE(gpu.pageTable(0).unmapPage(remapped));
+    gpu.tlbShootdown(1);
+    gpu.run(15000);
+
+    EXPECT_GT(gpu.faultInjector().shootdownsInjected(), 0u);
+
+    // The remapped page, if re-cached anywhere, must carry the frame
+    // from the live page table (demand-remapped on the next touch).
+    const Pfn live = gpu.pageTable(0).lookup(remapped);
+    Pfn cached = kInvalidPfn;
+    if (gpu.sharedTlb().lookup(1, remapped, &cached))
+        EXPECT_EQ(cached, live);
+    for (const CoreId c : gpu.coresOf(0)) {
+        if (gpu.core(c).l1Tlb().lookup(1, remapped, &cached))
+            EXPECT_EQ(cached, live);
+    }
+
+    // Full isolation + correctness sweep: every translation cached
+    // for an ASID agrees with that ASID's own page table.
+    int checked = 0;
+    for (AppId app = 0; app < 2; ++app) {
+        const Asid asid = static_cast<Asid>(app + 1);
+        for (Vpn vpn = 0; vpn < 200000; ++vpn) {
+            if (!gpu.sharedTlb().lookup(asid, vpn, &cached))
+                continue;
+            EXPECT_EQ(cached, gpu.pageTable(app).lookup(vpn))
+                << "asid " << asid << " vpn " << vpn;
+            ++checked;
+        }
+    }
+    EXPECT_GT(checked, 0);
+}
+
 } // namespace
 } // namespace mask
