@@ -38,6 +38,18 @@ benchPairs()
     return pairs;
 }
 
+unsigned
+benchJobs()
+{
+    return sweepJobs();
+}
+
+SweepRunner
+benchSweep()
+{
+    return SweepRunner(benchOptions(), benchJobs());
+}
+
 const std::vector<DesignPoint> &
 reportedDesigns()
 {

@@ -7,6 +7,8 @@
  *   MASK_BENCH_CYCLES=<n>  measurement window (default 80000)
  *   MASK_BENCH_FAST=1      short CI windows
  *   MASK_BENCH_PAIRS=<n>   cap the number of workload pairs swept
+ *   MASK_BENCH_JOBS=<n>    parallel sweep workers (default 1 serial,
+ *                          0 = one per hardware thread)
  */
 
 #ifndef MASK_BENCH_BENCH_UTIL_HH
@@ -18,6 +20,7 @@
 
 #include "sim/presets.hh"
 #include "sim/runner.hh"
+#include "sim/sweep.hh"
 #include "workload/suite.hh"
 
 namespace mask {
@@ -28,6 +31,12 @@ RunOptions benchOptions();
 
 /** Pairs to sweep, honoring MASK_BENCH_PAIRS. */
 std::vector<WorkloadPair> benchPairs();
+
+/** Sweep worker count, honoring MASK_BENCH_JOBS. */
+unsigned benchJobs();
+
+/** A sweep runner over benchOptions() with benchJobs() workers. */
+SweepRunner benchSweep();
 
 /** The seven non-ideal design points in reporting order. */
 const std::vector<DesignPoint> &reportedDesigns();

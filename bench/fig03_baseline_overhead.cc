@@ -14,26 +14,34 @@ main()
 {
     bench::banner("Figure 3", "baseline designs vs. ideal performance");
 
-    Evaluator eval(bench::benchOptions());
+    SweepRunner sweep = bench::benchSweep();
     const GpuConfig arch = archByName("maxwell");
+
+    const std::vector<WorkloadPair> pairs = bench::benchPairs();
+    std::vector<std::size_t> ids;
+    for (const WorkloadPair &pair : pairs) {
+        bench::progress("fig3 " + pair.name());
+        const std::vector<std::string> names = {pair.first,
+                                                pair.second};
+        for (const DesignPoint point :
+             {DesignPoint::Ideal, DesignPoint::PwCache,
+              DesignPoint::SharedTlb}) {
+            ids.push_back(sweep.submit({arch, point, names}));
+        }
+    }
+    sweep.run();
 
     std::printf("%-14s %10s %10s\n", "workload", "PWCache",
                 "SharedTLB");
     double pw_sum = 0.0, shared_sum = 0.0;
     int n = 0;
-    for (const WorkloadPair &pair : bench::benchPairs()) {
-        bench::progress("fig3 " + pair.name());
-        const std::vector<std::string> names = {pair.first,
-                                                pair.second};
+    std::size_t next = 0;
+    for (const WorkloadPair &pair : pairs) {
         const double ideal =
-            eval.evaluate(arch, DesignPoint::Ideal, names)
-                .weightedSpeedup;
-        const double pw =
-            eval.evaluate(arch, DesignPoint::PwCache, names)
-                .weightedSpeedup;
+            sweep.result(ids[next++]).weightedSpeedup;
+        const double pw = sweep.result(ids[next++]).weightedSpeedup;
         const double shared =
-            eval.evaluate(arch, DesignPoint::SharedTlb, names)
-                .weightedSpeedup;
+            sweep.result(ids[next++]).weightedSpeedup;
         const double pw_norm = safeDiv(pw, ideal);
         const double shared_norm = safeDiv(shared, ideal);
         std::printf("%-14s %10.3f %10.3f\n", pair.name().c_str(),

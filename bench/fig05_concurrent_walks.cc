@@ -15,18 +15,22 @@ main()
     bench::banner("Figure 5",
                   "average concurrent page table walks per benchmark");
 
-    const RunOptions options = bench::benchOptions();
-    const GpuConfig cfg =
-        applyDesignPoint(archByName("maxwell"), DesignPoint::SharedTlb);
+    SweepRunner sweep = bench::benchSweep();
+    const GpuConfig arch = archByName("maxwell");
 
-    std::printf("%-8s %8s %8s %8s\n", "bench", "avg", "min", "max");
+    std::vector<std::size_t> ids;
     for (const BenchmarkParams &benchp : benchmarkSuite()) {
         bench::progress(std::string("fig5 ") + benchp.name);
-        Gpu gpu(cfg, {AppDesc{&benchp}});
-        gpu.run(options.warmup);
-        gpu.resetStats();
-        gpu.run(options.measure);
-        const GpuStats stats = gpu.collect();
+        ids.push_back(sweep.submit({arch, DesignPoint::SharedTlb,
+                                    {benchp.name},
+                                    SweepMode::SharedOnly}));
+    }
+    sweep.run();
+
+    std::printf("%-8s %8s %8s %8s\n", "bench", "avg", "min", "max");
+    std::size_t next = 0;
+    for (const BenchmarkParams &benchp : benchmarkSuite()) {
+        const GpuStats &stats = sweep.result(ids[next++]).stats;
         std::printf("%-8s %8.1f %8.0f %8.0f\n", benchp.name,
                     stats.concurrentWalks.mean(),
                     stats.concurrentWalks.minVal,

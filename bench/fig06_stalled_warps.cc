@@ -15,19 +15,23 @@ main()
     bench::banner("Figure 6",
                   "average warps stalled per shared-TLB miss");
 
-    const RunOptions options = bench::benchOptions();
-    const GpuConfig cfg =
-        applyDesignPoint(archByName("maxwell"), DesignPoint::SharedTlb);
+    SweepRunner sweep = bench::benchSweep();
+    const GpuConfig arch = archByName("maxwell");
+
+    std::vector<std::size_t> ids;
+    for (const BenchmarkParams &benchp : benchmarkSuite()) {
+        bench::progress(std::string("fig6 ") + benchp.name);
+        ids.push_back(sweep.submit({arch, DesignPoint::SharedTlb,
+                                    {benchp.name},
+                                    SweepMode::SharedOnly}));
+    }
+    sweep.run();
 
     std::printf("%-8s %10s %8s %8s %10s\n", "bench", "warps/miss",
                 "min", "max", "misses");
+    std::size_t next = 0;
     for (const BenchmarkParams &benchp : benchmarkSuite()) {
-        bench::progress(std::string("fig6 ") + benchp.name);
-        Gpu gpu(cfg, {AppDesc{&benchp}});
-        gpu.run(options.warmup);
-        gpu.resetStats();
-        gpu.run(options.measure);
-        const GpuStats stats = gpu.collect();
+        const GpuStats &stats = sweep.result(ids[next++]).stats;
         std::printf("%-8s %10.1f %8.0f %8.0f %10llu\n", benchp.name,
                     stats.warpsPerMiss.mean(),
                     stats.warpsPerMiss.minVal,

@@ -10,25 +10,6 @@
 
 using namespace mask;
 
-namespace {
-
-/** L2 TLB miss rate of @p bench running alone on half the cores. */
-double
-aloneMissRate(const GpuConfig &arch, const char *bench,
-              const RunOptions &options)
-{
-    GpuConfig cfg = applyDesignPoint(arch, DesignPoint::SharedTlb);
-    cfg.numCores = arch.numCores / 2;
-    const BenchmarkParams &params = findBenchmark(bench);
-    Gpu gpu(cfg, {AppDesc{&params}});
-    gpu.run(options.warmup);
-    gpu.resetStats();
-    gpu.run(options.measure);
-    return gpu.collect().l2Tlb.missRate();
-}
-
-} // namespace
-
 int
 main()
 {
@@ -36,27 +17,45 @@ main()
                   "inter-application interference at the shared L2 "
                   "TLB (alone vs. shared miss rate)");
 
-    const RunOptions options = bench::benchOptions();
+    SweepRunner sweep = bench::benchSweep();
     const GpuConfig arch = archByName("maxwell");
+    // Alone runs give each application half the cores, matching its
+    // share of the two-application workload.
+    GpuConfig half = arch;
+    half.numCores = arch.numCores / 2;
+
+    struct PairIds
+    {
+        std::size_t shared;
+        std::size_t alone[2];
+    };
+    std::vector<PairIds> ids;
+    for (const WorkloadPair &pair : fig7Pairs()) {
+        bench::progress("fig7 " + pair.name());
+        PairIds pid{};
+        pid.shared = sweep.submit({arch, DesignPoint::SharedTlb,
+                                   {pair.first, pair.second},
+                                   SweepMode::SharedOnly});
+        const char *apps[2] = {pair.first, pair.second};
+        for (int i = 0; i < 2; ++i) {
+            pid.alone[i] = sweep.submit({half, DesignPoint::SharedTlb,
+                                         {apps[i]},
+                                         SweepMode::SharedOnly});
+        }
+        ids.push_back(pid);
+    }
+    sweep.run();
 
     std::printf("%-12s %-8s %10s %10s\n", "workload", "app", "alone",
                 "shared");
+    std::size_t next = 0;
     for (const WorkloadPair &pair : fig7Pairs()) {
-        bench::progress("fig7 " + pair.name());
-        const GpuConfig cfg =
-            applyDesignPoint(arch, DesignPoint::SharedTlb);
-        const BenchmarkParams &a = findBenchmark(pair.first);
-        const BenchmarkParams &b = findBenchmark(pair.second);
-        Gpu gpu(cfg, {AppDesc{&a}, AppDesc{&b}});
-        gpu.run(options.warmup);
-        gpu.resetStats();
-        gpu.run(options.measure);
-        const GpuStats stats = gpu.collect();
-
+        const PairIds &pid = ids[next++];
+        const GpuStats &stats = sweep.result(pid.shared).stats;
         const char *apps[2] = {pair.first, pair.second};
         for (int i = 0; i < 2; ++i) {
-            const double alone =
-                aloneMissRate(arch, apps[i], options);
+            const double alone = sweep.result(pid.alone[i])
+                                     .stats.l2Tlb.missRate();
             std::printf("%-12s %-8s %9.1f%% %9.1f%%\n",
                         pair.name().c_str(), apps[i], 100.0 * alone,
                         100.0 * stats.l2TlbPerApp[i].missRate());

@@ -16,24 +16,27 @@ main()
     bench::banner("Figure 8",
                   "DRAM bandwidth utilization: translation vs. data");
 
-    const RunOptions options = bench::benchOptions();
-    const GpuConfig cfg =
-        applyDesignPoint(archByName("maxwell"), DesignPoint::SharedTlb);
+    SweepRunner sweep = bench::benchSweep();
+    const GpuConfig arch = archByName("maxwell");
+    const std::uint32_t channels = arch.dram.channels;
+
+    const std::vector<WorkloadPair> pairs = bench::benchPairs();
+    std::vector<std::size_t> ids;
+    for (const WorkloadPair &pair : pairs) {
+        bench::progress("fig8 " + pair.name());
+        ids.push_back(sweep.submit({arch, DesignPoint::SharedTlb,
+                                    {pair.first, pair.second},
+                                    SweepMode::SharedOnly}));
+    }
+    sweep.run();
 
     std::printf("%-14s %12s %12s %14s\n", "workload", "translation",
                 "data", "trans/utilized");
     double trans_sum = 0.0, data_sum = 0.0;
     int n = 0;
-    for (const WorkloadPair &pair : bench::benchPairs()) {
-        bench::progress("fig8 " + pair.name());
-        const BenchmarkParams &a = findBenchmark(pair.first);
-        const BenchmarkParams &b = findBenchmark(pair.second);
-        Gpu gpu(cfg, {AppDesc{&a}, AppDesc{&b}});
-        gpu.run(options.warmup);
-        gpu.resetStats();
-        gpu.run(options.measure);
-        GpuStats stats = gpu.collect();
-        const std::uint32_t channels = gpu.dram().numChannels();
+    std::size_t next = 0;
+    for (const WorkloadPair &pair : pairs) {
+        const GpuStats &stats = sweep.result(ids[next++]).stats;
         const double trans =
             stats.dramBusUtil(ReqType::Translation, channels);
         const double data = stats.dramBusUtil(ReqType::Data, channels);

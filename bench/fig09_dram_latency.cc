@@ -16,23 +16,26 @@ main()
     bench::banner("Figure 9",
                   "DRAM latency: translation vs. data requests");
 
-    const RunOptions options = bench::benchOptions();
-    const GpuConfig cfg =
-        applyDesignPoint(archByName("maxwell"), DesignPoint::SharedTlb);
+    SweepRunner sweep = bench::benchSweep();
+    const GpuConfig arch = archByName("maxwell");
+
+    const std::vector<WorkloadPair> pairs = bench::benchPairs();
+    std::vector<std::size_t> ids;
+    for (const WorkloadPair &pair : pairs) {
+        bench::progress("fig9 " + pair.name());
+        ids.push_back(sweep.submit({arch, DesignPoint::SharedTlb,
+                                    {pair.first, pair.second},
+                                    SweepMode::SharedOnly}));
+    }
+    sweep.run();
 
     std::printf("%-14s %14s %12s %8s\n", "workload",
                 "translation(cyc)", "data(cyc)", "ratio");
     double trans_sum = 0.0, data_sum = 0.0;
     int n = 0;
-    for (const WorkloadPair &pair : bench::benchPairs()) {
-        bench::progress("fig9 " + pair.name());
-        const BenchmarkParams &a = findBenchmark(pair.first);
-        const BenchmarkParams &b = findBenchmark(pair.second);
-        Gpu gpu(cfg, {AppDesc{&a}, AppDesc{&b}});
-        gpu.run(options.warmup);
-        gpu.resetStats();
-        gpu.run(options.measure);
-        const GpuStats stats = gpu.collect();
+    std::size_t next = 0;
+    for (const WorkloadPair &pair : pairs) {
+        const GpuStats &stats = sweep.result(ids[next++]).stats;
         const double trans = stats.dram.latency[1].mean();
         const double data = stats.dram.latency[0].mean();
         std::printf("%-14s %14.0f %12.0f %8.2f\n",

@@ -19,22 +19,32 @@ run()
     bench::banner("Figure 11",
                   "weighted speedup by workload category, all designs");
 
-    Evaluator eval(bench::benchOptions());
+    SweepRunner sweep = bench::benchSweep();
     const GpuConfig arch = archByName("maxwell");
 
     std::vector<DesignPoint> designs = bench::reportedDesigns();
     designs.push_back(DesignPoint::Ideal);
 
+    const std::vector<WorkloadPair> pairs = bench::benchPairs();
+    std::vector<std::size_t> ids;
+    for (const WorkloadPair &pair : pairs) {
+        for (const DesignPoint point : designs) {
+            bench::progress("fig11 " + pair.name() + " " +
+                            designPointName(point));
+            ids.push_back(sweep.submit(
+                {arch, point, {pair.first, pair.second}}));
+        }
+    }
+    sweep.run();
+
     // category (0,1,2, 3=all) x design -> sum/count
     std::map<int, std::map<DesignPoint, double>> sums;
     std::map<int, int> counts;
 
-    for (const WorkloadPair &pair : bench::benchPairs()) {
+    std::size_t next = 0;
+    for (const WorkloadPair &pair : pairs) {
         for (const DesignPoint point : designs) {
-            bench::progress("fig11 " + pair.name() + " " +
-                            designPointName(point));
-            const PairResult r = eval.evaluate(
-                arch, point, {pair.first, pair.second});
+            const PairResult &r = sweep.result(ids[next++]);
             sums[pair.hmr][point] += r.weightedSpeedup;
             sums[3][point] += r.weightedSpeedup;
         }

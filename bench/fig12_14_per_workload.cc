@@ -15,11 +15,24 @@ main()
     bench::banner("Figures 12-14",
                   "per-workload weighted speedup by category");
 
-    Evaluator eval(bench::benchOptions());
+    SweepRunner sweep = bench::benchSweep();
     const GpuConfig arch = archByName("maxwell");
     const auto &designs = bench::reportedDesigns();
 
     const std::vector<WorkloadPair> all = bench::benchPairs();
+    // pair index x design index -> job id
+    std::vector<std::vector<std::size_t>> ids(all.size());
+    for (std::size_t w = 0; w < all.size(); ++w) {
+        const WorkloadPair &pair = all[w];
+        for (const DesignPoint point : designs) {
+            bench::progress("fig12-14 " + pair.name() + " " +
+                            designPointName(point));
+            ids[w].push_back(sweep.submit(
+                {arch, point, {pair.first, pair.second}}));
+        }
+    }
+    sweep.run();
+
     for (int cat = 0; cat <= 2; ++cat) {
         std::printf("\n--- Figure %d (%d-HMR workloads) ---\n",
                     12 + cat, cat);
@@ -27,16 +40,14 @@ main()
         for (const DesignPoint point : designs)
             std::printf(" %10s", designPointName(point));
         std::printf("\n");
-        for (const WorkloadPair &pair : all) {
+        for (std::size_t w = 0; w < all.size(); ++w) {
+            const WorkloadPair &pair = all[w];
             if (pair.hmr != cat)
                 continue;
             std::printf("%-14s", pair.name().c_str());
-            for (const DesignPoint point : designs) {
-                bench::progress("fig12-14 " + pair.name() + " " +
-                                designPointName(point));
-                const PairResult r = eval.evaluate(
-                    arch, point, {pair.first, pair.second});
-                std::printf(" %10.3f", r.weightedSpeedup);
+            for (std::size_t d = 0; d < designs.size(); ++d) {
+                std::printf(" %10.3f",
+                            sweep.result(ids[w][d]).weightedSpeedup);
             }
             std::printf("\n");
         }

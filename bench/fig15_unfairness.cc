@@ -17,20 +17,30 @@ run()
 {
     bench::banner("Figure 15", "multiprogrammed workload unfairness");
 
-    Evaluator eval(bench::benchOptions());
+    SweepRunner sweep = bench::benchSweep();
     const GpuConfig arch = archByName("maxwell");
     const std::vector<DesignPoint> designs = {
         DesignPoint::Static, DesignPoint::PwCache,
         DesignPoint::SharedTlb, DesignPoint::Mask};
 
-    std::map<int, std::map<DesignPoint, double>> sums;
-    std::map<int, int> counts;
-    for (const WorkloadPair &pair : bench::benchPairs()) {
+    const std::vector<WorkloadPair> pairs = bench::benchPairs();
+    std::vector<std::size_t> ids;
+    for (const WorkloadPair &pair : pairs) {
         for (const DesignPoint point : designs) {
             bench::progress("fig15 " + pair.name() + " " +
                             designPointName(point));
-            const PairResult r = eval.evaluate(
-                arch, point, {pair.first, pair.second});
+            ids.push_back(sweep.submit(
+                {arch, point, {pair.first, pair.second}}));
+        }
+    }
+    sweep.run();
+
+    std::map<int, std::map<DesignPoint, double>> sums;
+    std::map<int, int> counts;
+    std::size_t next = 0;
+    for (const WorkloadPair &pair : pairs) {
+        for (const DesignPoint point : designs) {
+            const PairResult &r = sweep.result(ids[next++]);
             sums[pair.hmr][point] += r.unfairness;
             sums[3][point] += r.unfairness;
         }

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Host-side simulation throughput: mega-cycles/sec and requests/sec
+ * for representative configurations, printed as one JSON object per
+ * line (consumed by scripts/bench_perf.sh -> BENCH_throughput.json).
+ *
+ * This bench measures the SIMULATOR, not the simulated machine: its
+ * output depends on host speed and is deliberately excluded from the
+ * determinism checks.
+ */
+
+#include "bench_util.hh"
+#include "sim/gpu.hh"
+
+using namespace mask;
+
+namespace {
+
+void
+emit(const char *label, DesignPoint point,
+     const std::vector<std::string> &benches, const GpuStats &stats)
+{
+    std::printf("{\"case\": \"%s\", \"design\": \"%s\", \"apps\": %zu,"
+                " \"cycles\": %llu, \"wall_seconds\": %.4f,"
+                " \"mega_cycles_per_sec\": %.3f, \"requests\": %llu,"
+                " \"requests_per_sec\": %.0f,"
+                " \"pool_peak_live\": %zu}\n",
+                label, designPointName(point), benches.size(),
+                static_cast<unsigned long long>(stats.cycles),
+                stats.wallSeconds, stats.megaCyclesPerSec(),
+                static_cast<unsigned long long>(stats.requests),
+                stats.requestsPerSec(), stats.poolPeakLive);
+}
+
+int
+run()
+{
+    Evaluator eval(bench::benchOptions());
+    const GpuConfig arch = archByName("maxwell");
+    const std::vector<WorkloadPair> pairs = bench::benchPairs();
+    const WorkloadPair &pair = pairs.front();
+    const std::vector<std::string> names = {pair.first, pair.second};
+
+    struct Case
+    {
+        const char *label;
+        DesignPoint point;
+        std::vector<std::string> benches;
+    };
+    const std::vector<Case> cases = {
+        {"alone", DesignPoint::SharedTlb, {pair.first}},
+        {"pair-sharedtlb", DesignPoint::SharedTlb, names},
+        {"pair-mask", DesignPoint::Mask, names},
+        {"pair-ideal", DesignPoint::Ideal, names},
+    };
+    for (const Case &c : cases) {
+        bench::progress(std::string("perf ") + c.label);
+        emit(c.label, c.point,
+             c.benches, eval.runShared(arch, c.point, c.benches));
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main()
+{
+    return bench::guardedMain(run);
+}

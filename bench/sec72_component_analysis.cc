@@ -13,46 +13,53 @@
 
 using namespace mask;
 
-namespace {
-
-GpuStats
-runPair(const GpuConfig &arch, DesignPoint point,
-        const WorkloadPair &pair, const RunOptions &options)
-{
-    const GpuConfig cfg = applyDesignPoint(arch, point);
-    const BenchmarkParams &a = findBenchmark(pair.first);
-    const BenchmarkParams &b = findBenchmark(pair.second);
-    Gpu gpu(cfg, {AppDesc{&a}, AppDesc{&b}});
-    gpu.run(options.warmup);
-    gpu.resetStats();
-    gpu.run(options.measure);
-    return gpu.collect();
-}
-
-} // namespace
-
 int
 main()
 {
     bench::banner("Section 7.2", "component-by-component analysis");
 
-    const RunOptions options = bench::benchOptions();
+    SweepRunner sweep = bench::benchSweep();
     const GpuConfig arch = archByName("maxwell");
 
     std::vector<WorkloadPair> pairs = bench::benchPairs();
     if (pairs.size() > 10)
         pairs.resize(10);
 
+    // One shared run per (pair, design); the SharedTlb baseline is
+    // reused across all three mechanism sections.
+    struct PairIds
+    {
+        std::size_t base;
+        std::size_t tokens;
+        std::size_t bypass;
+        std::size_t sched;
+    };
+    std::vector<PairIds> ids;
+    for (const WorkloadPair &pair : pairs) {
+        bench::progress("sec7.2 " + pair.name());
+        const std::vector<std::string> names = {pair.first,
+                                                pair.second};
+        PairIds pid{};
+        pid.base = sweep.submit({arch, DesignPoint::SharedTlb, names,
+                                 SweepMode::SharedOnly});
+        pid.tokens = sweep.submit({arch, DesignPoint::MaskTlb, names,
+                                   SweepMode::SharedOnly});
+        pid.bypass = sweep.submit({arch, DesignPoint::MaskCache,
+                                   names, SweepMode::SharedOnly});
+        pid.sched = sweep.submit({arch, DesignPoint::MaskDram, names,
+                                  SweepMode::SharedOnly});
+        ids.push_back(pid);
+    }
+    sweep.run();
+
     std::printf("--- TLB-Fill Tokens (Section 5.2) ---\n");
     std::printf("%-14s %12s %12s %12s %10s\n", "workload",
                 "L2TLB(base)", "L2TLB(tok)", "bypC hit", "tokens");
     double base_hit = 0.0, tok_hit = 0.0, byp_hit = 0.0;
-    for (const WorkloadPair &pair : pairs) {
-        bench::progress("sec7.2 tokens " + pair.name());
-        const GpuStats base =
-            runPair(arch, DesignPoint::SharedTlb, pair, options);
-        const GpuStats tok =
-            runPair(arch, DesignPoint::MaskTlb, pair, options);
+    for (std::size_t w = 0; w < pairs.size(); ++w) {
+        const WorkloadPair &pair = pairs[w];
+        const GpuStats &base = sweep.result(ids[w].base).stats;
+        const GpuStats &tok = sweep.result(ids[w].tokens).stats;
         std::printf("%-14s %11.1f%% %11.1f%% %11.1f%% %5u/%-4u\n",
                     pair.name().c_str(),
                     100.0 * base.l2Tlb.hitRate(),
@@ -73,12 +80,10 @@ main()
     std::printf("--- L2 Bypass (Section 5.3) ---\n");
     std::printf("%-14s %12s %12s %12s\n", "workload", "transHit(base)",
                 "transHit(byp)", "bypassed");
-    for (const WorkloadPair &pair : pairs) {
-        bench::progress("sec7.2 bypass " + pair.name());
-        const GpuStats base =
-            runPair(arch, DesignPoint::SharedTlb, pair, options);
-        const GpuStats byp =
-            runPair(arch, DesignPoint::MaskCache, pair, options);
+    for (std::size_t w = 0; w < pairs.size(); ++w) {
+        const WorkloadPair &pair = pairs[w];
+        const GpuStats &base = sweep.result(ids[w].base).stats;
+        const GpuStats &byp = sweep.result(ids[w].bypass).stats;
         std::printf("%-14s %11.1f%% %11.1f%% %12llu\n",
                     pair.name().c_str(),
                     100.0 * base.l2Cache[1].hitRate(),
@@ -91,12 +96,10 @@ main()
     std::printf("--- DRAM scheduler (Section 5.4) ---\n");
     std::printf("%-14s %12s %12s %12s %12s\n", "workload",
                 "transLat", "transLat*", "dataLat", "dataLat*");
-    for (const WorkloadPair &pair : pairs) {
-        bench::progress("sec7.2 dram " + pair.name());
-        const GpuStats base =
-            runPair(arch, DesignPoint::SharedTlb, pair, options);
-        const GpuStats sched =
-            runPair(arch, DesignPoint::MaskDram, pair, options);
+    for (std::size_t w = 0; w < pairs.size(); ++w) {
+        const WorkloadPair &pair = pairs[w];
+        const GpuStats &base = sweep.result(ids[w].base).stats;
+        const GpuStats &sched = sweep.result(ids[w].sched).stats;
         std::printf("%-14s %12.0f %12.0f %12.0f %12.0f\n",
                     pair.name().c_str(), base.dram.latency[1].mean(),
                     sched.dram.latency[1].mean(),

@@ -12,12 +12,17 @@ using namespace mask;
 
 namespace {
 
-double
-wsFor(Evaluator &eval, const GpuConfig &arch, DesignPoint point,
-      const WorkloadPair &pair)
+std::size_t
+submitWs(SweepRunner &sweep, const GpuConfig &arch, DesignPoint point,
+         const WorkloadPair &pair)
 {
-    return eval.evaluate(arch, point, {pair.first, pair.second})
-        .weightedSpeedup;
+    return sweep.submit({arch, point, {pair.first, pair.second}});
+}
+
+double
+wsOf(const SweepRunner &sweep, std::size_t id)
+{
+    return sweep.result(id).weightedSpeedup;
 }
 
 } // namespace
@@ -27,7 +32,7 @@ main()
 {
     bench::banner("Section 7.3", "sensitivity and ablation studies");
 
-    Evaluator eval(bench::benchOptions());
+    SweepRunner sweep = bench::benchSweep();
     std::vector<WorkloadPair> pairs = bench::benchPairs();
     if (pairs.size() > 6)
         pairs.resize(6);
@@ -35,18 +40,29 @@ main()
     std::printf("--- Shared L2 TLB size sweep ---\n");
     std::printf("%-8s %12s %12s\n", "entries", "SharedTLB",
                 "MASK");
-    for (const std::uint32_t entries :
-         {64u, 128u, 256u, 512u, 1024u, 2048u, 4096u, 8192u}) {
+    const std::vector<std::uint32_t> sizes = {
+        64u, 128u, 256u, 512u, 1024u, 2048u, 4096u, 8192u};
+    std::vector<std::size_t> size_ids;
+    for (const std::uint32_t entries : sizes) {
         GpuConfig arch = archByName("maxwell");
         arch.name = "maxwell-tlb" + std::to_string(entries);
         arch.l2Tlb.entries = entries;
-        double shared = 0.0, mask_ws = 0.0;
         for (const WorkloadPair &pair : pairs) {
             bench::progress("tlb size " + std::to_string(entries) +
                             " " + pair.name());
-            shared +=
-                wsFor(eval, arch, DesignPoint::SharedTlb, pair);
-            mask_ws += wsFor(eval, arch, DesignPoint::Mask, pair);
+            size_ids.push_back(submitWs(sweep, arch,
+                                        DesignPoint::SharedTlb, pair));
+            size_ids.push_back(
+                submitWs(sweep, arch, DesignPoint::Mask, pair));
+        }
+    }
+    sweep.run();
+    std::size_t next = 0;
+    for (const std::uint32_t entries : sizes) {
+        double shared = 0.0, mask_ws = 0.0;
+        for (std::size_t w = 0; w < pairs.size(); ++w) {
+            shared += wsOf(sweep, size_ids[next++]);
+            mask_ws += wsOf(sweep, size_ids[next++]);
         }
         std::printf("%-8u %12.3f %12.3f\n", entries,
                     shared / pairs.size(), mask_ws / pairs.size());
@@ -59,13 +75,23 @@ main()
         GpuConfig arch = archByName("maxwell");
         arch.name = "maxwell-2mb";
         arch.pageBits = 21;
-        double shared = 0.0, mask_ws = 0.0, ideal = 0.0;
+        std::vector<std::size_t> page_ids;
         for (const WorkloadPair &pair : pairs) {
             bench::progress("2MB pages " + pair.name());
-            shared +=
-                wsFor(eval, arch, DesignPoint::SharedTlb, pair);
-            mask_ws += wsFor(eval, arch, DesignPoint::Mask, pair);
-            ideal += wsFor(eval, arch, DesignPoint::Ideal, pair);
+            page_ids.push_back(submitWs(sweep, arch,
+                                        DesignPoint::SharedTlb, pair));
+            page_ids.push_back(
+                submitWs(sweep, arch, DesignPoint::Mask, pair));
+            page_ids.push_back(
+                submitWs(sweep, arch, DesignPoint::Ideal, pair));
+        }
+        sweep.run();
+        double shared = 0.0, mask_ws = 0.0, ideal = 0.0;
+        std::size_t pn = 0;
+        for (std::size_t w = 0; w < pairs.size(); ++w) {
+            shared += wsOf(sweep, page_ids[pn++]);
+            mask_ws += wsOf(sweep, page_ids[pn++]);
+            ideal += wsOf(sweep, page_ids[pn++]);
         }
         std::printf("SharedTLB %.3f   MASK %.3f   Ideal %.3f\n",
                     shared / pairs.size(), mask_ws / pairs.size(),
@@ -78,17 +104,27 @@ main()
     std::printf("--- Ablation: golden-queue bandwidth guard ---\n");
     {
         std::printf("%-12s %12s\n", "guard(cyc)", "MASK WS");
-        for (const Cycle guard : {0u, 50u, 100u, 400u, 100000u}) {
+        const std::vector<Cycle> guards = {0u, 50u, 100u, 400u,
+                                           100000u};
+        std::vector<std::size_t> guard_ids;
+        for (const Cycle guard : guards) {
             GpuConfig arch = archByName("maxwell");
             arch.name = "maxwell-gg" + std::to_string(guard);
             arch.mask.goldenMaxDelay = guard;
-            double mask_ws = 0.0;
             for (const WorkloadPair &pair : pairs) {
                 bench::progress("golden guard " +
                                 std::to_string(guard) + " " +
                                 pair.name());
-                mask_ws += wsFor(eval, arch, DesignPoint::Mask, pair);
+                guard_ids.push_back(
+                    submitWs(sweep, arch, DesignPoint::Mask, pair));
             }
+        }
+        sweep.run();
+        std::size_t gn = 0;
+        for (const Cycle guard : guards) {
+            double mask_ws = 0.0;
+            for (std::size_t w = 0; w < pairs.size(); ++w)
+                mask_ws += wsOf(sweep, guard_ids[gn++]);
             std::printf("%-12llu %12.3f\n",
                         static_cast<unsigned long long>(guard),
                         mask_ws / pairs.size());
@@ -101,17 +137,29 @@ main()
     {
         std::printf("%-10s %12s %12s\n", "threads", "SharedTLB",
                     "MASK");
-        for (const std::uint32_t threads : {16u, 32u, 64u, 128u}) {
+        const std::vector<std::uint32_t> counts = {16u, 32u, 64u,
+                                                   128u};
+        std::vector<std::size_t> walker_ids;
+        for (const std::uint32_t threads : counts) {
             GpuConfig arch = archByName("maxwell");
             arch.name = "maxwell-w" + std::to_string(threads);
             arch.walker.maxConcurrentWalks = threads;
-            double shared = 0.0, mask_ws = 0.0;
             for (const WorkloadPair &pair : pairs) {
                 bench::progress("walker " + std::to_string(threads) +
                                 " " + pair.name());
-                shared +=
-                    wsFor(eval, arch, DesignPoint::SharedTlb, pair);
-                mask_ws += wsFor(eval, arch, DesignPoint::Mask, pair);
+                walker_ids.push_back(submitWs(
+                    sweep, arch, DesignPoint::SharedTlb, pair));
+                walker_ids.push_back(
+                    submitWs(sweep, arch, DesignPoint::Mask, pair));
+            }
+        }
+        sweep.run();
+        std::size_t wn = 0;
+        for (const std::uint32_t threads : counts) {
+            double shared = 0.0, mask_ws = 0.0;
+            for (std::size_t w = 0; w < pairs.size(); ++w) {
+                shared += wsOf(sweep, walker_ids[wn++]);
+                mask_ws += wsOf(sweep, walker_ids[wn++]);
             }
             std::printf("%-10u %12.3f %12.3f\n", threads,
                         shared / pairs.size(),

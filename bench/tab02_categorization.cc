@@ -16,21 +16,25 @@ main()
     bench::banner("Table 2",
                   "benchmark L1/L2 TLB miss-rate categorization");
 
-    const RunOptions options = bench::benchOptions();
-    GpuConfig cfg =
-        applyDesignPoint(archByName("maxwell"), DesignPoint::SharedTlb);
-    cfg.numCores /= 2; // the paper's per-app share in 2-app workloads
+    SweepRunner sweep = bench::benchSweep();
+    GpuConfig arch = archByName("maxwell");
+    arch.numCores /= 2; // the paper's per-app share in 2-app workloads
+
+    std::vector<std::size_t> ids;
+    for (const BenchmarkParams &benchp : benchmarkSuite()) {
+        bench::progress(std::string("tab2 ") + benchp.name);
+        ids.push_back(sweep.submit({arch, DesignPoint::SharedTlb,
+                                    {benchp.name},
+                                    SweepMode::SharedOnly}));
+    }
+    sweep.run();
 
     std::printf("%-8s %8s %8s %10s %10s %6s\n", "bench", "l1miss",
                 "l2miss", "expected", "measured", "match");
     int mismatches = 0;
+    std::size_t next = 0;
     for (const BenchmarkParams &benchp : benchmarkSuite()) {
-        bench::progress(std::string("tab2 ") + benchp.name);
-        Gpu gpu(cfg, {AppDesc{&benchp}});
-        gpu.run(options.warmup);
-        gpu.resetStats();
-        gpu.run(options.measure);
-        const GpuStats stats = gpu.collect();
+        const GpuStats &stats = sweep.result(ids[next++]).stats;
 
         const double l1 = stats.l1Tlb.missRate();
         const double l2 = stats.l2Tlb.missRate();

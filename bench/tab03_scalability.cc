@@ -16,11 +16,10 @@ using namespace mask;
 namespace {
 
 double
-throughput(Evaluator &eval, const GpuConfig &arch, DesignPoint point,
-           const std::vector<std::string> &apps)
+throughput(const PairResult &result)
 {
-    const GpuStats stats = eval.runShared(arch, point, apps);
-    return std::accumulate(stats.ipc.begin(), stats.ipc.end(), 0.0);
+    return std::accumulate(result.stats.ipc.begin(),
+                           result.stats.ipc.end(), 0.0);
 }
 
 } // namespace
@@ -31,7 +30,7 @@ main()
     bench::banner("Table 3",
                   "performance normalized to Ideal vs. app count");
 
-    Evaluator eval(bench::benchOptions());
+    SweepRunner sweep = bench::benchSweep();
     const GpuConfig arch = archByName("maxwell");
 
     // A representative mix: TLB-heavy and TLB-light applications,
@@ -39,20 +38,30 @@ main()
     const std::vector<std::string> mix = {"3DS", "HISTO", "CONS",
                                           "LPS", "RED"};
 
-    std::printf("%-22s %8s %8s %8s %8s %8s\n", "apps", "1", "2", "3",
-                "4", "5");
-    std::vector<double> shared_norm, mask_norm;
+    std::vector<std::size_t> ids;
     for (std::size_t n = 1; n <= mix.size(); ++n) {
         const std::vector<std::string> apps(mix.begin(),
                                             mix.begin() + n);
         bench::progress("tab3 " + std::to_string(n) + " apps");
-        const double ideal =
-            throughput(eval, arch, DesignPoint::Ideal, apps);
-        shared_norm.push_back(safeDiv(
-            throughput(eval, arch, DesignPoint::SharedTlb, apps),
-            ideal));
-        mask_norm.push_back(safeDiv(
-            throughput(eval, arch, DesignPoint::Mask, apps), ideal));
+        for (const DesignPoint point :
+             {DesignPoint::Ideal, DesignPoint::SharedTlb,
+              DesignPoint::Mask}) {
+            ids.push_back(sweep.submit(
+                {arch, point, apps, SweepMode::SharedOnly}));
+        }
+    }
+    sweep.run();
+
+    std::printf("%-22s %8s %8s %8s %8s %8s\n", "apps", "1", "2", "3",
+                "4", "5");
+    std::vector<double> shared_norm, mask_norm;
+    std::size_t next = 0;
+    for (std::size_t n = 1; n <= mix.size(); ++n) {
+        const double ideal = throughput(sweep.result(ids[next++]));
+        shared_norm.push_back(
+            safeDiv(throughput(sweep.result(ids[next++])), ideal));
+        mask_norm.push_back(
+            safeDiv(throughput(sweep.result(ids[next++])), ideal));
     }
     std::printf("%-22s", "SharedTLB/Ideal");
     for (const double v : shared_norm)

@@ -16,31 +16,42 @@ main()
                   "average performance normalized to Ideal on other "
                   "architectures");
 
-    Evaluator eval(bench::benchOptions());
+    SweepRunner sweep = bench::benchSweep();
     const std::vector<DesignPoint> designs = {DesignPoint::PwCache,
                                               DesignPoint::SharedTlb,
                                               DesignPoint::Mask};
 
-    std::printf("%-12s %10s %10s %10s\n", "arch", "PWCache",
-                "SharedTLB", "MASK");
+    const std::vector<WorkloadPair> pairs = bench::benchPairs();
+    std::vector<std::size_t> ids;
     for (const char *arch_name : {"fermi", "integrated"}) {
         const GpuConfig arch = archByName(arch_name);
-        double sums[3] = {};
-        double ideal_sum = 0.0;
-        int n = 0;
-        for (const WorkloadPair &pair : bench::benchPairs()) {
+        for (const WorkloadPair &pair : pairs) {
             bench::progress(std::string("tab4 ") + arch_name + " " +
                             pair.name());
             const std::vector<std::string> names = {pair.first,
                                                     pair.second};
+            ids.push_back(sweep.submit(
+                {arch, DesignPoint::Ideal, names}));
+            for (const DesignPoint point : designs)
+                ids.push_back(sweep.submit({arch, point, names}));
+        }
+    }
+    sweep.run();
+
+    std::printf("%-12s %10s %10s %10s\n", "arch", "PWCache",
+                "SharedTLB", "MASK");
+    std::size_t next = 0;
+    for (const char *arch_name : {"fermi", "integrated"}) {
+        double sums[3] = {};
+        double ideal_sum = 0.0;
+        int n = 0;
+        for (std::size_t w = 0; w < pairs.size(); ++w) {
             const double ideal =
-                eval.evaluate(arch, DesignPoint::Ideal, names)
-                    .weightedSpeedup;
+                sweep.result(ids[next++]).weightedSpeedup;
             ideal_sum += ideal;
             for (std::size_t d = 0; d < designs.size(); ++d) {
                 sums[d] += safeDiv(
-                    eval.evaluate(arch, designs[d], names)
-                        .weightedSpeedup,
+                    sweep.result(ids[next++]).weightedSpeedup,
                     ideal);
             }
             ++n;

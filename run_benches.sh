@@ -1,7 +1,11 @@
 #!/bin/sh
 # Regenerates every paper table/figure. Output: bench_output.txt.
-# MASK_BENCH_CYCLES / MASK_BENCH_FAST / MASK_BENCH_PAIRS shrink runs.
+# MASK_BENCH_CYCLES / MASK_BENCH_FAST / MASK_BENCH_PAIRS shrink runs;
+# MASK_BENCH_JOBS parallelizes the sweeps (default: all hardware
+# threads; output is byte-identical regardless of the job count).
 set -e
+MASK_BENCH_JOBS="${MASK_BENCH_JOBS:-0}"
+export MASK_BENCH_JOBS
 for b in build/bench/*; do
     [ -f "$b" ] && [ -x "$b" ] || continue
     echo ""

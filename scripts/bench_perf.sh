@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Host-side simulator throughput report -> BENCH_throughput.json.
+#
+# Two sections:
+#   "throughput": per-configuration mega-cycles/sec and requests/sec
+#     from bench/perf_throughput (single-threaded hot-path speed).
+#   "sweep": fig11 wall-clock serial (MASK_BENCH_JOBS=1) vs parallel
+#     (MASK_BENCH_JOBS=<nproc>) and the resulting speedup. The speedup
+#     scales with hardware threads; on a single-core host it is ~1.0
+#     by construction.
+#
+#   scripts/bench_perf.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_throughput.json}"
+PERF_BIN=build/bench/perf_throughput
+FIG11_BIN=build/bench/fig11_performance
+for bin in "$PERF_BIN" "$FIG11_BIN"; do
+    if [ ! -x "$bin" ]; then
+        echo "error: $bin not built (cmake --build build)" >&2
+        exit 2
+    fi
+done
+
+JOBS="$(nproc 2>/dev/null || echo 1)"
+
+now_secs() { date +%s.%N; }
+
+echo "== perf_throughput (hot-path cycles/sec) =="
+PERF_LINES="$("$PERF_BIN" 2>/dev/null)"
+echo "$PERF_LINES"
+
+echo "== fig11 sweep: serial vs MASK_BENCH_JOBS=$JOBS =="
+t0="$(now_secs)"
+MASK_BENCH_FAST=1 MASK_BENCH_JOBS=1 "$FIG11_BIN" >/dev/null 2>&1
+t1="$(now_secs)"
+MASK_BENCH_FAST=1 MASK_BENCH_JOBS="$JOBS" "$FIG11_BIN" >/dev/null 2>&1
+t2="$(now_secs)"
+
+SERIAL="$(echo "$t1 $t0" | awk '{printf "%.3f", $1 - $2}')"
+PARALLEL="$(echo "$t2 $t1" | awk '{printf "%.3f", $1 - $2}')"
+SPEEDUP="$(echo "$SERIAL $PARALLEL" | awk '{printf "%.2f", ($2 > 0) ? $1 / $2 : 0}')"
+echo "serial ${SERIAL}s  parallel(jobs=$JOBS) ${PARALLEL}s  speedup ${SPEEDUP}x"
+
+{
+    echo "{"
+    echo "  \"throughput\": ["
+    echo "$PERF_LINES" | sed 's/^/    /; $!s/$/,/'
+    echo "  ],"
+    echo "  \"sweep\": {"
+    echo "    \"bench\": \"fig11_performance\","
+    echo "    \"jobs\": $JOBS,"
+    echo "    \"serial_seconds\": $SERIAL,"
+    echo "    \"parallel_seconds\": $PARALLEL,"
+    echo "    \"speedup\": $SPEEDUP"
+    echo "  }"
+    echo "}"
+} >"$OUT"
+echo "wrote $OUT"

@@ -19,12 +19,27 @@ out_b="$(mktemp)"
 trap 'rm -f "$out_a" "$out_b"' EXIT
 
 echo "== run 1 =="
-MASK_BENCH_FAST=1 MASK_BENCH_PAIRS=4 "$BIN" >"$out_a" 2>/dev/null
+MASK_BENCH_FAST=1 MASK_BENCH_PAIRS=4 MASK_BENCH_JOBS=1 \
+    "$BIN" >"$out_a" 2>/dev/null
 echo "== run 2 =="
-MASK_BENCH_FAST=1 MASK_BENCH_PAIRS=4 "$BIN" >"$out_b" 2>/dev/null
+MASK_BENCH_FAST=1 MASK_BENCH_PAIRS=4 MASK_BENCH_JOBS=1 \
+    "$BIN" >"$out_b" 2>/dev/null
 
 if ! diff -u "$out_a" "$out_b"; then
     echo "DETERMINISM FAILURE: identical configs produced different stats" >&2
     exit 1
 fi
 echo "deterministic: both runs byte-identical"
+
+# Parallel sweeps must not change ANY byte of output relative to the
+# serial run: results are consumed in submission order, and nothing
+# host-dependent (wall-clock, job count) reaches stdout.
+echo "== run 3 (parallel, 4 jobs) =="
+MASK_BENCH_FAST=1 MASK_BENCH_PAIRS=4 MASK_BENCH_JOBS=4 \
+    "$BIN" >"$out_b" 2>/dev/null
+
+if ! diff -u "$out_a" "$out_b"; then
+    echo "DETERMINISM FAILURE: parallel sweep diverged from serial" >&2
+    exit 1
+fi
+echo "deterministic: parallel (jobs=4) byte-identical to serial"

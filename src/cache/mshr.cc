@@ -4,14 +4,15 @@
 
 namespace mask {
 
-MshrTable::MshrTable(std::uint32_t entries) : entries_(entries) {}
+MshrTable::MshrTable(std::uint32_t entries)
+    : entries_(entries), table_(entries)
+{}
 
 MshrTable::Outcome
 MshrTable::allocate(std::uint64_t key, ReqId waiter)
 {
-    auto it = table_.find(key);
-    if (it != table_.end()) {
-        it->second.push_back(waiter);
+    if (std::vector<ReqId> *waiters = table_.find(key)) {
+        waiters->push_back(waiter);
         ++merges_;
         return Outcome::Merged;
     }
@@ -19,20 +20,31 @@ MshrTable::allocate(std::uint64_t key, ReqId waiter)
         ++rejections_;
         return Outcome::Full;
     }
-    table_.emplace(key, std::vector<ReqId>{waiter});
+    std::vector<ReqId> waiters;
+    if (!pool_.empty()) {
+        waiters = std::move(pool_.back());
+        pool_.pop_back();
+    }
+    waiters.push_back(waiter);
+    table_.insert(key, std::move(waiters));
     return Outcome::Allocated;
 }
 
 std::vector<ReqId>
 MshrTable::complete(std::uint64_t key)
 {
-    auto it = table_.find(key);
-    SIM_CHECK_CTX(it != table_.end(), "cache.mshr", kUnknownCycle,
+    SIM_CHECK_CTX(table_.contains(key), "cache.mshr", kUnknownCycle,
                   "fill completed for a key with no MSHR entry",
                   CheckContext{.paddr = key});
-    std::vector<ReqId> waiters = std::move(it->second);
-    table_.erase(it);
-    return waiters;
+    return table_.take(key);
+}
+
+void
+MshrTable::recycle(std::vector<ReqId> &&waiters)
+{
+    waiters.clear();
+    if (pool_.size() < entries_)
+        pool_.push_back(std::move(waiters));
 }
 
 } // namespace mask

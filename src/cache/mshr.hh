@@ -4,16 +4,18 @@
  *
  * Outstanding misses are keyed by line/page key; secondary misses to
  * the same key merge into the existing entry and are woken together
- * when the fill arrives.
+ * when the fill arrives. The table is a flat open-addressed map with a
+ * pool of recycled waiter vectors, so the allocate/complete cycle on
+ * the miss path performs no heap allocation in steady state.
  */
 
 #ifndef MASK_CACHE_MSHR_HH
 #define MASK_CACHE_MSHR_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_table.hh"
 #include "common/types.hh"
 
 namespace mask {
@@ -40,9 +42,14 @@ class MshrTable
 
     /**
      * Fill arrived for @p key: returns all waiters (primary first) and
-     * frees the entry. Key must be present.
+     * frees the entry. Key must be present. The returned vector's
+     * storage is recycled into the next allocate once the caller
+     * drains it via completeDone().
      */
     std::vector<ReqId> complete(std::uint64_t key);
+
+    /** Return a drained waiter vector's capacity to the pool. */
+    void recycle(std::vector<ReqId> &&waiters);
 
     std::uint32_t size() const
     {
@@ -54,7 +61,9 @@ class MshrTable
 
   private:
     std::uint32_t entries_;
-    std::unordered_map<std::uint64_t, std::vector<ReqId>> table_;
+    FlatTable<std::vector<ReqId>> table_;
+    /** Recycled waiter vectors (retain capacity across misses). */
+    std::vector<std::vector<ReqId>> pool_;
     std::uint64_t merges_ = 0;
     std::uint64_t rejections_ = 0;
 };

@@ -1,5 +1,6 @@
 #include "common/config.hh"
 
+#include <cstring>
 #include <string>
 
 namespace mask {
@@ -267,6 +268,126 @@ integratedGpuConfig()
     cfg.dram.tCl = 28;
     cfg.dram.tBurst = 8;
     return cfg;
+}
+
+namespace {
+
+/** FNV-1a style accumulation with a 64-bit avalanche finish per mix. */
+void
+mix(std::uint64_t &h, std::uint64_t v)
+{
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+}
+
+void
+mixDouble(std::uint64_t &h, double v)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    mix(h, bits);
+}
+
+void
+mixCache(std::uint64_t &h, const CacheConfig &c)
+{
+    mix(h, c.sizeBytes);
+    mix(h, c.lineBytes);
+    mix(h, c.ways);
+    mix(h, c.latency);
+    mix(h, c.banks);
+    mix(h, c.portsPerBank);
+    mix(h, c.mshrs);
+}
+
+void
+mixTlb(std::uint64_t &h, const TlbConfig &t)
+{
+    mix(h, t.entries);
+    mix(h, t.ways);
+    mix(h, t.latency);
+    mix(h, t.ports);
+    mix(h, t.mshrs);
+}
+
+} // namespace
+
+std::uint64_t
+configFingerprint(const GpuConfig &cfg)
+{
+    // Deliberately excludes cfg.name: benches reuse one name across
+    // distinct parameter sets, and the alone-IPC memo must never treat
+    // those as interchangeable.
+    std::uint64_t h = 0x6d61736b2d666e76ull; // "mask-fnv"
+
+    mix(h, cfg.numCores);
+    mix(h, cfg.warpsPerCore);
+    mix(h, cfg.threadsPerWarp);
+    mix(h, cfg.lsuWidth);
+    mix(h, cfg.pageBits);
+    mix(h, cfg.lineBits);
+    mix(h, static_cast<std::uint64_t>(cfg.design));
+
+    mixTlb(h, cfg.l1Tlb);
+    mixTlb(h, cfg.l2Tlb);
+    mixCache(h, cfg.pwCache);
+    mixCache(h, cfg.l1d);
+    mixCache(h, cfg.l2);
+
+    mix(h, cfg.dram.channels);
+    mix(h, cfg.dram.banksPerChannel);
+    mix(h, cfg.dram.rowBytes);
+    mix(h, cfg.dram.tRcd);
+    mix(h, cfg.dram.tRp);
+    mix(h, cfg.dram.tCl);
+    mix(h, cfg.dram.tBurst);
+    mix(h, cfg.dram.queueEntries);
+    mix(h, cfg.dram.starvationCap);
+
+    mix(h, cfg.walker.maxConcurrentWalks);
+    mix(h, cfg.walker.levels);
+
+    mix(h, cfg.mask.tlbTokens);
+    mix(h, cfg.mask.l2Bypass);
+    mix(h, cfg.mask.dramSched);
+    mix(h, cfg.mask.epochCycles);
+    mixDouble(h, cfg.mask.initialTokenFraction);
+    mixDouble(h, cfg.mask.missRateDelta);
+    mixDouble(h, cfg.mask.tokenStepFraction);
+    mix(h, cfg.mask.bypassCacheEntries);
+    mix(h, cfg.mask.minBypassSamples);
+    mix(h, cfg.mask.sampleProbeInterval);
+    mix(h, cfg.mask.goldenQueueEntries);
+    mix(h, cfg.mask.silverQueueEntries);
+    mix(h, cfg.mask.normalQueueEntries);
+    mix(h, cfg.mask.threshMax);
+    mix(h, cfg.mask.goldenMaxDelay);
+    mix(h, cfg.mask.silverMaxDelay);
+
+    mix(h, cfg.partition.partitionL2);
+    mix(h, cfg.partition.partitionDramChannels);
+
+    mix(h, cfg.harden.watchdog.enabled);
+    mix(h, cfg.harden.watchdog.sweepInterval);
+    mix(h, cfg.harden.watchdog.maxAge);
+    mix(h, cfg.harden.fault.enabled);
+    mix(h, cfg.harden.fault.seed);
+    mixDouble(h, cfg.harden.fault.dramDelayProb);
+    mix(h, cfg.harden.fault.dramDelayCycles);
+    mixDouble(h, cfg.harden.fault.walkDropProb);
+    mix(h, cfg.harden.fault.walkDropRetry);
+    mix(h, cfg.harden.fault.walkRetryDelay);
+    mix(h, cfg.harden.fault.shootdownInterval);
+    mixDouble(h, cfg.harden.fault.portStallProb);
+    mix(h, cfg.harden.fault.portStallCycles);
+    mix(h, cfg.harden.poolHighWater);
+
+    mix(h, cfg.coreShares.size());
+    for (const std::uint32_t share : cfg.coreShares)
+        mix(h, share);
+
+    mix(h, cfg.seed);
+    return h;
 }
 
 } // namespace mask

@@ -170,6 +170,13 @@ struct HardenConfig
 {
     WatchdogConfig watchdog;
     FaultInjectConfig fault;
+    /**
+     * Cap on concurrently-live entries in the request pool; exceeding
+     * it trips a SimInvariantError so pool growth is observable
+     * rather than a silent reallocation. 0 derives the bound from the
+     * configuration (L1 MSHR entries + walker threads).
+     */
+    std::size_t poolHighWater = 0;
 };
 
 /**
@@ -283,6 +290,15 @@ void validateConfig(const GpuConfig &cfg);
 
 /** Design point from its reporting name ("MASK-TLB", ...). */
 DesignPoint designPointByName(const std::string &name);
+
+/**
+ * Structural fingerprint of a configuration: a hash over every field
+ * that affects simulation behaviour (and NOT over the free-form name,
+ * which benches reuse across distinct parameter sets). Two configs
+ * with equal fingerprints run identically; the alone-IPC memo keys on
+ * this. Update alongside any new GpuConfig field.
+ */
+std::uint64_t configFingerprint(const GpuConfig &cfg);
 
 /** Maxwell-like baseline architecture (paper Table 1). */
 GpuConfig maxwellConfig();

@@ -12,6 +12,7 @@
 #define MASK_COMMON_MEMREQ_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/check.hh"
@@ -56,6 +57,26 @@ struct MemRequest
 class RequestPool
 {
   public:
+    /**
+     * Pre-size the pool so steady-state allocation never reallocates
+     * the backing vector (the GPU derives the bound from its config:
+     * one request per L1 MSHR entry plus one per walker thread).
+     */
+    void
+    reserve(std::size_t slots)
+    {
+        reqs_.reserve(slots);
+        free_.reserve(slots);
+    }
+
+    /**
+     * Cap on concurrently-live requests. Exceeding it trips a
+     * SimInvariantError: unplanned pool growth means some component
+     * holds more in-flight state than the configuration admits, and
+     * must be visible instead of silently absorbed. 0 disables.
+     */
+    void setHighWater(std::size_t limit) { highWater_ = limit; }
+
     ReqId
     alloc()
     {
@@ -70,6 +91,16 @@ class RequestPool
         }
         reqs_[id].live = true;
         ++liveCount_;
+        ++totalAllocated_;
+        if (liveCount_ > peakLive_) {
+            peakLive_ = liveCount_;
+            SIM_CHECK_CTX(highWater_ == 0 || liveCount_ <= highWater_,
+                          "common.memreq", kUnknownCycle,
+                          "live requests exceeded the configured "
+                          "high-water mark (" +
+                              std::to_string(highWater_) + ")",
+                          CheckContext{.reqId = id});
+        }
         return id;
     }
 
@@ -90,11 +121,18 @@ class RequestPool
 
     std::size_t liveCount() const { return liveCount_; }
     std::size_t capacity() const { return reqs_.size(); }
+    /** Most requests ever live at once. */
+    std::size_t peakLive() const { return peakLive_; }
+    /** Cumulative alloc() calls (requests/sec observability). */
+    std::uint64_t totalAllocated() const { return totalAllocated_; }
 
   private:
     std::vector<MemRequest> reqs_;
     std::vector<ReqId> free_;
     std::size_t liveCount_ = 0;
+    std::size_t peakLive_ = 0;
+    std::size_t highWater_ = 0;
+    std::uint64_t totalAllocated_ = 0;
 };
 
 } // namespace mask

@@ -121,6 +121,10 @@ class IntervalSampler
         }
     }
 
+    /** True if the next tick() will record a sample; callers use this
+     *  to skip computing the sampled value on off cycles. */
+    bool due(Cycle now) const { return now >= next_; }
+
     const RunningStat &stat() const { return stat_; }
     void reset() { stat_.reset(); next_ = 0; }
 

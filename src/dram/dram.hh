@@ -158,6 +158,13 @@ class DramChannel
         return golden_.size() + silver_.size() + normal_.size();
     }
 
+    /** Any request queued, in service, or awaiting drain. */
+    bool busy() const
+    {
+        return queuedRequests() > 0 || !inService_.empty() ||
+               !completed_.empty();
+    }
+
     /** Queue introspection for tests. */
     std::size_t goldenSize() const { return golden_.size(); }
     std::size_t silverSize() const { return silver_.size(); }
@@ -231,6 +238,18 @@ class Dram
 
     /** Completed requests across all channels; caller drains. */
     std::deque<ReqId> &completed() { return completed_; }
+
+    /** True if any channel holds work or completions await drain. */
+    bool busy() const
+    {
+        if (!completed_.empty())
+            return true;
+        for (const DramChannel &ch : channels_) {
+            if (ch.busy())
+                return true;
+        }
+        return false;
+    }
 
     std::uint32_t numChannels() const
     {

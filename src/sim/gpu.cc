@@ -1,6 +1,7 @@
 #include "sim/gpu.hh"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/check.hh"
 
@@ -30,6 +31,18 @@ warpsPerApp(const GpuConfig &cfg, std::size_t num_apps)
 }
 
 } // namespace
+
+double
+GpuStats::megaCyclesPerSec() const
+{
+    return safeDiv(static_cast<double>(cycles) / 1e6, wallSeconds);
+}
+
+double
+GpuStats::requestsPerSec() const
+{
+    return safeDiv(static_cast<double>(requests), wallSeconds);
+}
 
 double
 GpuStats::dramBusUtil(ReqType type, std::uint32_t channels) const
@@ -75,6 +88,18 @@ Gpu::Gpu(const GpuConfig &cfg, const std::vector<AppDesc> &apps)
 
     l2Input_.resize(cfg_.l2.banks);
     coreTransWaiters_.resize(cfg_.numCores);
+
+    // Steady-state in-flight bound: one request per L1 MSHR entry
+    // (primary data misses) plus one PTE fetch per walker thread.
+    // Reserving up front means the pool never reallocates mid-run;
+    // the high-water check makes any violation of the bound loud.
+    const std::size_t pool_bound =
+        static_cast<std::size_t>(cfg_.numCores) * cfg_.l1d.mshrs +
+        cfg_.walker.maxConcurrentWalks;
+    pool_.reserve(pool_bound);
+    pool_.setHighWater(cfg_.harden.poolHighWater != 0
+                           ? cfg_.harden.poolHighWater
+                           : pool_bound);
     stalledAccesses_.assign(apps.size(), 0);
     warpsPerMissPerApp_.resize(apps.size());
 
@@ -130,26 +155,47 @@ Gpu::~Gpu() = default;
 void
 Gpu::run(Cycle cycles)
 {
+    const auto wall_start = std::chrono::steady_clock::now();
     const Cycle end = now_ + cycles;
     while (now_ < end)
         tickOne();
+    wallSeconds_ +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
 }
 
 void
 Gpu::tickOne()
 {
+    // Quiescent components skip their stage entirely: the checks are
+    // O(1) against explicit work counters, and the skipped stage would
+    // have scanned banks/queues to discover the same emptiness. The
+    // fault-injection stages are exempt (their RNG draws are part of
+    // the deterministic fault schedule).
     stageFaults();
-    stageDram();
-    stageL2Cache();
-    if (cfg_.design == TranslationDesign::PwCache)
+    if (dram_.busy() || !dramRetry_.empty())
+        stageDram();
+    if (l2Work_ > 0)
+        stageL2Cache();
+    if (cfg_.design == TranslationDesign::PwCache &&
+        (!pwInput_.empty() || pwCachePipe_.inFlight() > 0)) {
         stagePwCache();
-    if (cfg_.design == TranslationDesign::SharedTlb)
+    }
+    if (cfg_.design == TranslationDesign::SharedTlb &&
+        (faults_.enabled() || !l2TlbInput_.empty() ||
+         l2TlbPipe_.inFlight() > 0)) {
         stageL2Tlb();
-    stageWalker();
+    }
+    if (!tlbMissRetry_.empty() || !walkStartQueue_.empty() ||
+        walker_.hasPendingFetch()) {
+        stageWalker();
+    }
     stageCores();
     stageSamplers();
     stageEpoch();
-    stageSwitches();
+    if (switchesInFlight_ > 0)
+        stageSwitches();
     stageWatchdog();
     ++now_;
 }
@@ -258,8 +304,10 @@ Gpu::onMemResponse(ReqId id)
         // MASK L2 bypass: no L2 fill (Section 5.3), but merged
         // waiters (if this request owns an MSHR entry) complete now.
         if (req.mshrPrimary) {
-            for (const ReqId waiter : l2Mshr_.complete(key))
+            std::vector<ReqId> waiters = l2Mshr_.complete(key);
+            for (const ReqId waiter : waiters)
                 respondUp(waiter);
+            l2Mshr_.recycle(std::move(waiters));
         } else {
             respondUp(id);
         }
@@ -278,8 +326,10 @@ Gpu::onMemResponse(ReqId id)
         l2Cache_.fill(key);
     }
 
-    for (const ReqId waiter : l2Mshr_.complete(key))
+    std::vector<ReqId> waiters = l2Mshr_.complete(key);
+    for (const ReqId waiter : waiters)
         respondUp(waiter);
+    l2Mshr_.recycle(std::move(waiters));
 }
 
 void
@@ -290,8 +340,10 @@ Gpu::respondUp(ReqId id)
         ShaderCore &core = *cores_[req.core];
         const std::uint64_t key = l2CacheKey(req.paddr);
         core.l1d().fill(key);
-        for (const ReqId warp : core.l1Mshr().complete(key))
+        std::vector<ReqId> warps = core.l1Mshr().complete(key);
+        for (const ReqId warp : warps)
             core.accessDone(static_cast<WarpId>(warp), now_);
+        core.l1Mshr().recycle(std::move(warps));
         pool_.release(id);
     } else {
         walkFetchReturned(id);
@@ -307,8 +359,10 @@ Gpu::stageL2Cache()
 {
     for (std::uint32_t b = 0; b < l2Pipe_.numBanks(); ++b) {
         LatencyPipe &bank = l2Pipe_.bank(b);
-        while (bank.hasReady(now_))
+        while (bank.hasReady(now_)) {
+            --l2Work_;
             l2LookupDone(static_cast<ReqId>(bank.pop()));
+        }
         auto &input = l2Input_[b];
         while (!input.empty() && bank.canAccept(now_)) {
             bank.push(input.front(), now_);
@@ -357,6 +411,7 @@ Gpu::l2LookupDone(ReqId id)
         // Retry the lookup next cycle through the bank input queue;
         // the line may be present (or an MSHR free) by then.
         req.where = "l2-mshr-full-retry";
+        ++l2Work_;
         l2Input_[l2Pipe_.bankFor(key)].push_back(id);
         break;
     }
@@ -389,6 +444,7 @@ Gpu::sendToL2(ReqId id)
     }
     const std::uint64_t key = l2CacheKey(req.paddr);
     req.where = "l2-input";
+    ++l2Work_;
     l2Input_[l2Pipe_.bankFor(key)].push_back(id);
 }
 
@@ -609,9 +665,9 @@ Gpu::finishWalk(WalkId walk)
     std::size_t stalled = 0;
     const std::uint64_t key = tlbKey(info.asid, info.vpn);
     for (const StalledAccess &access : entry.waiters) {
-        auto it = coreTransWaiters_[access.core].find(key);
-        if (it != coreTransWaiters_[access.core].end())
-            stalled += it->second.size();
+        const auto *parked = coreTransWaiters_[access.core].find(key);
+        if (parked != nullptr)
+            stalled += parked->size();
     }
     warpsPerMiss_.add(static_cast<double>(stalled));
     warpsPerMissPerApp_[info.app].add(static_cast<double>(stalled));
@@ -717,12 +773,11 @@ Gpu::onL1TlbMiss(ShaderCore &core, const StalledAccess &access, Vpn vpn)
     auto &waiters = coreTransWaiters_[core.id()];
     const std::uint64_t key = tlbKey(core.asid(), vpn);
     ++stalledAccesses_[core.app()];
-    auto it = waiters.find(key);
-    if (it != waiters.end()) {
-        it->second.push_back(access);
+    if (std::vector<StalledAccess> *parked = waiters.find(key)) {
+        parked->push_back(access);
         return;
     }
-    waiters.emplace(key, std::vector<StalledAccess>{access});
+    waiters.insert(key, std::vector<StalledAccess>{access});
 
     const std::uint32_t slot =
         allocTransSlot(access, core.asid(), vpn, core.app());
@@ -739,12 +794,11 @@ Gpu::completeCoreTranslation(CoreId core, Asid asid, Vpn vpn, AppId app,
     cores_[core]->l1Tlb().fill(asid, vpn, pfn);
 
     auto &waiters = coreTransWaiters_[core];
-    auto it = waiters.find(tlbKey(asid, vpn));
-    SIM_CHECK_CTX(it != waiters.end(), "sim.gpu", now_,
+    const std::uint64_t key = tlbKey(asid, vpn);
+    SIM_CHECK_CTX(waiters.contains(key), "sim.gpu", now_,
                   "translation completed with no core waiters",
                   (CheckContext{.asid = asid, .vpn = vpn, .app = app}));
-    std::vector<StalledAccess> parked = std::move(it->second);
-    waiters.erase(it);
+    std::vector<StalledAccess> parked = waiters.take(key);
     SIM_CHECK_CTX(stalledAccesses_[app] >= parked.size(), "sim.gpu",
                   now_, "stalled-access counter underflow on wakeup",
                   (CheckContext{.asid = asid, .vpn = vpn, .app = app}));
@@ -799,18 +853,26 @@ Gpu::startDataAccess(const StalledAccess &access, AppId app, Pfn pfn)
 void
 Gpu::stageSamplers()
 {
-    walkSampler_.tick(now_,
-                      static_cast<double>(walker_.activeWalks()));
-    for (AppId a = 0; a < apps_.size(); ++a) {
-        walkSamplerPerApp_[a].tick(
-            now_, static_cast<double>(walker_.activeWalksFor(a)));
+    // The interval samplers record once per 10K cycles; only gather
+    // their (core-scanning) inputs on cycles where a sample lands.
+    // The quota controller accumulates every cycle by design (its
+    // Equation 1 weights are per-cycle sums), so it is not gated.
+    if (walkSampler_.due(now_)) {
+        walkSampler_.tick(now_,
+                          static_cast<double>(walker_.activeWalks()));
+        for (AppId a = 0; a < apps_.size(); ++a) {
+            walkSamplerPerApp_[a].tick(
+                now_, static_cast<double>(walker_.activeWalksFor(a)));
+        }
     }
 
-    double ready = 0.0;
-    for (const auto &core : cores_)
-        ready += core->readyWarps();
-    readySampler_.tick(now_, ready / static_cast<double>(
-                                         cores_.size()));
+    if (readySampler_.due(now_)) {
+        double ready = 0.0;
+        for (const auto &core : cores_)
+            ready += core->readyWarps();
+        readySampler_.tick(now_, ready / static_cast<double>(
+                                             cores_.size()));
+    }
 
     if (cfg_.mask.dramSched) {
         for (AppId a = 0; a < apps_.size(); ++a) {
@@ -859,6 +921,8 @@ Gpu::switchAllCores(AppId app, Cycle switch_penalty)
     creditInstructions();
     ++switchSeed_;
     for (CoreId c = 0; c < cores_.size(); ++c) {
+        if (!pendingSwitch_[c].pending)
+            ++switchesInFlight_;
         pendingSwitch_[c] =
             PendingSwitch{true, app, now_ + switch_penalty};
         cores_[c]->startDrain();
@@ -908,6 +972,7 @@ Gpu::stageSwitches()
                     cfg_.seed * 31 + c + switchSeed_ * 131071);
         coreAppIndex_[c] = static_cast<std::uint16_t>(c);
         sw.pending = false;
+        --switchesInFlight_;
     }
 }
 
@@ -985,6 +1050,8 @@ Gpu::resetStats()
         sampler.reset();
     readySampler_.reset();
     watchdog_.resetStats();
+    wallSeconds_ = 0.0;
+    allocsAtReset_ = pool_.totalAllocated();
 }
 
 GpuStats
@@ -1030,6 +1097,10 @@ Gpu::collect()
     for (AppId a = 0; a < apps_.size(); ++a)
         out.tokens.push_back(tokens_.tokens(a));
     out.l2Bypasses = l2Policy_.bypasses();
+    out.poolPeakLive = pool_.peakLive();
+    out.poolCapacity = pool_.capacity();
+    out.wallSeconds = wallSeconds_;
+    out.requests = pool_.totalAllocated() - allocsAtReset_;
     out.watchdogSweeps = watchdog_.sweeps();
     out.watchdogMaxAgeSeen = watchdog_.maxAgeSeen();
     out.faultsInjected =

@@ -13,13 +13,13 @@
 #include <deque>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/bank_model.hh"
 #include "cache/cache.hh"
 #include "cache/mshr.hh"
 #include "common/config.hh"
+#include "common/flat_table.hh"
 #include "common/memreq.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -82,6 +82,21 @@ struct GpuStats
     std::uint64_t watchdogSweeps = 0;
     Cycle watchdogMaxAgeSeen = 0;  //!< oldest in-flight age observed
     std::uint64_t faultsInjected = 0;
+
+    // Request pool occupancy (PR: pool growth must be observable).
+    std::size_t poolPeakLive = 0;  //!< high-water mark of live requests
+    std::size_t poolCapacity = 0;  //!< slots allocated in the pool
+
+    // Host-side simulation throughput (wall-clock observability; NOT
+    // part of the simulated machine and never printed by the
+    // determinism-checked bench tables).
+    double wallSeconds = 0.0;      //!< host time spent inside run()
+    std::uint64_t requests = 0;    //!< pool allocations in the window
+
+    /** Simulated mega-cycles advanced per host second. */
+    double megaCyclesPerSec() const;
+    /** Memory-hierarchy requests simulated per host second. */
+    double requestsPerSec() const;
 
     /** Weighted fraction of peak DRAM bandwidth used, by type. */
     double dramBusUtil(ReqType type, std::uint32_t channels) const;
@@ -337,11 +352,21 @@ class Gpu
     /**
      * Per-core translation MSHRs: accesses from one core waiting on
      * the same in-flight translation coalesce into one shared-TLB
-     * probe (keyed by tlbKey(asid, vpn)).
+     * probe (keyed by tlbKey(asid, vpn)). Flat tables: probed on
+     * every L1 TLB miss and every translation completion.
      */
-    std::vector<std::unordered_map<std::uint64_t,
-                                   std::vector<StalledAccess>>>
+    std::vector<FlatTable<std::vector<StalledAccess>>>
         coreTransWaiters_;
+
+    // --- Idle-skip bookkeeping (tickOne fast paths) ---
+    /** Requests in the L2 input queues or bank pipes. */
+    std::size_t l2Work_ = 0;
+    /** Cores with an unfinished app switch (skip stageSwitches). */
+    std::uint32_t switchesInFlight_ = 0;
+
+    // --- Host-side throughput accounting ---
+    double wallSeconds_ = 0.0;      //!< accumulated inside run()
+    std::uint64_t allocsAtReset_ = 0;
 };
 
 } // namespace mask

@@ -68,6 +68,46 @@ captureCrash(const GpuConfig &arch, DesignPoint point,
 
 } // namespace
 
+double
+AloneIpcCache::getOrCompute(const std::string &key,
+                            const std::function<double()> &compute)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        auto it = slots_.find(key);
+        if (it == slots_.end())
+            break; // this thread computes
+        if (it->second.ready)
+            return it->second.value;
+        // Another thread is computing this key; if it fails the slot
+        // is erased and the loop falls through to retry.
+        ready_.wait(lock);
+    }
+    slots_.emplace(key, Slot{});
+    lock.unlock();
+    try {
+        const double value = compute();
+        lock.lock();
+        Slot &slot = slots_[key];
+        slot.value = value;
+        slot.ready = true;
+        ready_.notify_all();
+        return value;
+    } catch (...) {
+        lock.lock();
+        slots_.erase(key);
+        ready_.notify_all();
+        throw;
+    }
+}
+
+std::size_t
+AloneIpcCache::size() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return slots_.size();
+}
+
 GpuStats
 Evaluator::runShared(const GpuConfig &arch, DesignPoint point,
                      const std::vector<std::string> &bench_names)
@@ -88,29 +128,32 @@ double
 Evaluator::aloneIpc(const GpuConfig &arch, DesignPoint point,
                     const std::string &bench, std::uint32_t cores)
 {
-    const std::string key = arch.name + "/" +
-                            designPointName(point) + "/" + bench +
-                            "/" + std::to_string(cores) + "/" +
-                            std::to_string(options_.measure);
-    if (auto it = aloneCache_.find(key); it != aloneCache_.end())
-        return it->second;
-
     GpuConfig cfg = applyDesignPoint(arch, point);
     cfg.numCores = cores;
     // The alone run gives this app the whole (shrunken) GPU; shares
     // sized for the shared-run app count would be stale here.
     cfg.coreShares.clear();
-    try {
-        Gpu gpu(cfg, toAppDescs({bench}));
-        gpu.run(options_.warmup);
-        gpu.resetStats();
-        gpu.run(options_.measure);
-        const double ipc = gpu.collect().ipc[0];
-        aloneCache_.emplace(key, ipc);
-        return ipc;
-    } catch (const SimInvariantError &err) {
-        captureCrash(cfg, point, {bench}, options_, err);
-    }
+
+    // Key on the structural fingerprint of the exact config the alone
+    // run would use — never on arch.name, which benches reuse across
+    // distinct parameter sets (two "maxwell" variants with different
+    // TLB sizes must not share alone IPCs). Bench identity and window
+    // sizes are the only inputs not captured by the config itself.
+    const std::string key = std::to_string(configFingerprint(cfg)) +
+                            "/" + bench + "/" +
+                            std::to_string(options_.warmup) + "/" +
+                            std::to_string(options_.measure);
+    return aloneCache_->getOrCompute(key, [&]() {
+        try {
+            Gpu gpu(cfg, toAppDescs({bench}));
+            gpu.run(options_.warmup);
+            gpu.resetStats();
+            gpu.run(options_.measure);
+            return gpu.collect().ipc[0];
+        } catch (const SimInvariantError &err) {
+            captureCrash(cfg, point, {bench}, options_, err);
+        }
+    });
 }
 
 PairResult

@@ -10,7 +10,11 @@
 #ifndef MASK_SIM_RUNNER_HH
 #define MASK_SIM_RUNNER_HH
 
+#include <condition_variable>
+#include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -46,11 +50,52 @@ struct PairResult
     GpuStats stats;
 };
 
+/**
+ * Thread-safe memo of alone-run IPCs. One cache may back any number of
+ * Evaluators (one per sweep worker): the first thread to request a key
+ * computes it while later requesters of the same key block until the
+ * value lands, so no alone run is ever simulated twice.
+ */
+class AloneIpcCache
+{
+  public:
+    /**
+     * Return the cached value for @p key, or run @p compute (outside
+     * the lock) to fill it. If the computing thread throws, one
+     * blocked waiter retries the computation.
+     */
+    double getOrCompute(const std::string &key,
+                        const std::function<double()> &compute);
+
+    /** Number of distinct memoized alone runs. */
+    std::size_t size() const;
+
+  private:
+    struct Slot
+    {
+        double value = 0.0;
+        bool ready = false;
+    };
+
+    mutable std::mutex mutex_;
+    std::condition_variable ready_;
+    std::map<std::string, Slot> slots_;
+};
+
 /** Runner with an alone-IPC cache shared across evaluations. */
 class Evaluator
 {
   public:
-    explicit Evaluator(RunOptions options) : options_(options) {}
+    /** Evaluator with a private alone-IPC cache. */
+    explicit Evaluator(RunOptions options)
+        : Evaluator(options, std::make_shared<AloneIpcCache>())
+    {}
+
+    /** Evaluator sharing @p cache (sweep workers pass one cache). */
+    Evaluator(RunOptions options,
+              std::shared_ptr<AloneIpcCache> cache)
+        : options_(options), aloneCache_(std::move(cache))
+    {}
 
     /**
      * Run @p bench_names concurrently on @p arch at @p point and
@@ -73,9 +118,12 @@ class Evaluator
 
     const RunOptions &options() const { return options_; }
 
+    /** Distinct alone runs memoized so far (cache observability). */
+    std::size_t aloneCacheSize() const { return aloneCache_->size(); }
+
   private:
     RunOptions options_;
-    std::map<std::string, double> aloneCache_;
+    std::shared_ptr<AloneIpcCache> aloneCache_;
 };
 
 /**

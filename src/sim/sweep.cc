@@ -1,0 +1,142 @@
+#include "sim/sweep.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/check.hh"
+
+namespace mask {
+
+unsigned
+sweepJobs()
+{
+    const char *env = std::getenv("MASK_BENCH_JOBS");
+    if (env == nullptr || env[0] == '\0')
+        return 1;
+    const long n = std::atol(env);
+    if (n < 0)
+        return 1;
+    if (n == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        return hw != 0 ? hw : 1;
+    }
+    return static_cast<unsigned>(n);
+}
+
+SweepRunner::SweepRunner(RunOptions options)
+    : SweepRunner(options, sweepJobs())
+{}
+
+SweepRunner::SweepRunner(RunOptions options, unsigned jobs)
+    : options_(options), jobs_(jobs != 0 ? jobs : 1),
+      cache_(std::make_shared<AloneIpcCache>())
+{}
+
+std::size_t
+SweepRunner::submit(SweepJob job)
+{
+    pending_.push_back(std::move(job));
+    return results_.size() + pending_.size() - 1;
+}
+
+const PairResult &
+SweepRunner::result(std::size_t index) const
+{
+    SIM_CHECK(index < results_.size(), "sim.sweep", kUnknownCycle,
+              "sweep result index out of range (run() not called?)");
+    return results_[index];
+}
+
+namespace {
+
+PairResult
+executeJob(Evaluator &eval, const SweepJob &job)
+{
+    PairResult result;
+    if (job.mode == SweepMode::SharedOnly) {
+        result.stats = eval.runShared(job.arch, job.point, job.benches);
+        result.sharedIpc = result.stats.ipc;
+    } else {
+        result = eval.evaluate(job.arch, job.point, job.benches);
+    }
+    return result;
+}
+
+} // namespace
+
+void
+SweepRunner::run()
+{
+    if (pending_.empty())
+        return;
+    if (jobs_ == 1 || pending_.size() == 1)
+        runSerial();
+    else
+        runParallel();
+    pending_.clear();
+}
+
+void
+SweepRunner::runSerial()
+{
+    Evaluator eval(options_, cache_);
+    results_.reserve(results_.size() + pending_.size());
+    for (const SweepJob &job : pending_)
+        results_.push_back(executeJob(eval, job));
+}
+
+void
+SweepRunner::runParallel()
+{
+    const std::size_t base = results_.size();
+    const std::size_t batch = pending_.size();
+    results_.resize(base + batch);
+
+    const unsigned workers = static_cast<unsigned>(
+        std::min<std::size_t>(jobs_, batch));
+
+    std::atomic<std::size_t> next{0};
+    std::mutex fail_mutex;
+    std::exception_ptr first_error;
+    std::size_t first_error_index = batch;
+
+    auto worker = [&]() {
+        // Workers share the alone-IPC memo but nothing else; each
+        // simulation is wholly thread-private.
+        Evaluator eval(options_, cache_);
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= batch)
+                return;
+            try {
+                results_[base + i] = executeJob(eval, pending_[i]);
+            } catch (...) {
+                // Keep the failure of the lowest-indexed job so the
+                // surfaced error matches what a serial run would hit
+                // first; later jobs keep running (their results are
+                // discarded by the rethrow below).
+                const std::lock_guard<std::mutex> lock(fail_mutex);
+                if (i < first_error_index) {
+                    first_error_index = i;
+                    first_error = std::current_exception();
+                }
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned w = 0; w < workers; ++w)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+} // namespace mask

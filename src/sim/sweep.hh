@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Parallel workload-sweep engine.
+ *
+ * Every figure/table bench walks the same shape of loop: for each
+ * (workload pair, design point), build a GPU and simulate it. The runs
+ * are independent, so SweepRunner fans them across a pool of worker
+ * threads — each worker owns a private Evaluator, all workers share
+ * one thread-safe alone-IPC memo — and hands results back in
+ * submission order, so bench output is byte-identical to a serial run
+ * regardless of worker count or completion order.
+ *
+ * Usage is two-phase:
+ *
+ *     SweepRunner sweep(options);
+ *     std::vector<std::size_t> ids;
+ *     for (...) ids.push_back(sweep.submit({arch, point, pair}));
+ *     sweep.run();
+ *     for (...) use(sweep.result(ids[...]));
+ *
+ * The job count comes from MASK_BENCH_JOBS (default 1 = serial;
+ * 0 = one per hardware thread).
+ */
+
+#ifndef MASK_SIM_SWEEP_HH
+#define MASK_SIM_SWEEP_HH
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "sim/runner.hh"
+
+namespace mask {
+
+/**
+ * Worker count from MASK_BENCH_JOBS: unset or 1 means serial, 0 means
+ * one worker per hardware thread, N means N workers.
+ */
+unsigned sweepJobs();
+
+/** What one sweep job computes. */
+enum class SweepMode : std::uint8_t {
+    Metrics,    //!< shared run + alone runs + Section 6 metrics
+    SharedOnly, //!< shared run only (PairResult.stats, no metrics)
+};
+
+/** One (architecture, design point, workload) simulation request. */
+struct SweepJob
+{
+    GpuConfig arch;
+    DesignPoint point = DesignPoint::SharedTlb;
+    std::vector<std::string> benches;
+    SweepMode mode = SweepMode::Metrics;
+};
+
+/** Thread-pool executor for batches of independent SweepJobs. */
+class SweepRunner
+{
+  public:
+    /** @p jobs worker threads (defaults to sweepJobs()). */
+    explicit SweepRunner(RunOptions options);
+    SweepRunner(RunOptions options, unsigned jobs);
+
+    /** Queue a job; returns its index for result(). */
+    std::size_t submit(SweepJob job);
+
+    /**
+     * Run all jobs submitted since the last run() and block until
+     * they finish. If any job throws, the exception of the
+     * lowest-indexed failing job is rethrown after all workers stop.
+     * The runner is reusable: submit/run again after it returns, with
+     * the alone-IPC memo carried across batches.
+     */
+    void run();
+
+    /** Result of job @p index (valid after run() returns). */
+    const PairResult &result(std::size_t index) const;
+
+    unsigned jobs() const { return jobs_; }
+    const RunOptions &options() const { return options_; }
+
+    /** Distinct alone runs memoized so far (shared across workers). */
+    std::size_t aloneCacheSize() const { return cache_->size(); }
+
+  private:
+    void runSerial();
+    void runParallel();
+
+    RunOptions options_;
+    unsigned jobs_;
+    std::shared_ptr<AloneIpcCache> cache_;
+    std::vector<SweepJob> pending_;
+    std::vector<PairResult> results_;
+};
+
+} // namespace mask
+
+#endif // MASK_SIM_SWEEP_HH

@@ -71,15 +71,15 @@ void
 Watchdog::sweepTlbMshr(Cycle now, const WatchdogView &view)
 {
     // Find the oldest outstanding translation so the diagnostic names
-    // the most-stuck miss (map order is unspecified, so scan fully).
+    // the most-stuck miss (slot order is arbitrary, so scan fully).
     const TlbMshrTable::Entry *oldest = nullptr;
-    for (const auto &[key, entry] : view.tlbMshr->entries()) {
+    view.tlbMshr->forEachEntry([&](const TlbMshrTable::Entry &entry) {
         noteAge(now - entry.firstMissCycle);
         if (oldest == nullptr ||
             entry.firstMissCycle < oldest->firstMissCycle) {
             oldest = &entry;
         }
-    }
+    });
     if (oldest == nullptr)
         return;
     const Cycle age = now - oldest->firstMissCycle;

@@ -4,7 +4,9 @@
 
 namespace mask {
 
-TlbMshrTable::TlbMshrTable(std::uint32_t entries) : entries_(entries) {}
+TlbMshrTable::TlbMshrTable(std::uint32_t entries)
+    : entries_(entries), table_(entries)
+{}
 
 TlbMshrTable::Outcome
 TlbMshrTable::allocate(Asid asid, Vpn vpn, AppId app,
@@ -14,13 +16,11 @@ TlbMshrTable::allocate(Asid asid, Vpn vpn, AppId app,
     if (app >= stalledPerApp_.size())
         stalledPerApp_.resize(app + 1, 0);
 
-    auto it = table_.find(key);
-    if (it != table_.end()) {
-        Entry &entry = it->second;
-        entry.waiters.push_back(access);
-        entry.maxWarpsStalled = std::max(
-            entry.maxWarpsStalled,
-            static_cast<std::uint32_t>(entry.waiters.size()));
+    if (Entry *entry = table_.find(key)) {
+        entry->waiters.push_back(access);
+        entry->maxWarpsStalled = std::max(
+            entry->maxWarpsStalled,
+            static_cast<std::uint32_t>(entry->waiters.size()));
         ++stalledWarps_;
         ++stalledPerApp_[app];
         return Outcome::Merged;
@@ -36,7 +36,7 @@ TlbMshrTable::allocate(Asid asid, Vpn vpn, AppId app,
     entry.waiters.push_back(access);
     entry.maxWarpsStalled = 1;
     entry.firstMissCycle = now;
-    table_.emplace(key, std::move(entry));
+    table_.insert(key, std::move(entry));
     ++stalledWarps_;
     ++stalledPerApp_[app];
     return Outcome::Allocated;
@@ -51,22 +51,21 @@ TlbMshrTable::has(Asid asid, Vpn vpn) const
 TlbMshrTable::Entry &
 TlbMshrTable::get(Asid asid, Vpn vpn)
 {
-    auto it = table_.find(tlbKey(asid, vpn));
-    SIM_CHECK_CTX(it != table_.end(), "tlb.mshr", kUnknownCycle,
+    Entry *entry = table_.find(tlbKey(asid, vpn));
+    SIM_CHECK_CTX(entry != nullptr, "tlb.mshr", kUnknownCycle,
                   "get() on a translation with no MSHR entry",
                   (CheckContext{.asid = asid, .vpn = vpn}));
-    return it->second;
+    return *entry;
 }
 
 TlbMshrTable::Entry
 TlbMshrTable::complete(Asid asid, Vpn vpn)
 {
-    auto it = table_.find(tlbKey(asid, vpn));
-    SIM_CHECK_CTX(it != table_.end(), "tlb.mshr", kUnknownCycle,
+    const std::uint64_t key = tlbKey(asid, vpn);
+    SIM_CHECK_CTX(table_.contains(key), "tlb.mshr", kUnknownCycle,
                   "completing a TLB miss with no MSHR entry",
                   (CheckContext{.asid = asid, .vpn = vpn}));
-    Entry entry = std::move(it->second);
-    table_.erase(it);
+    Entry entry = table_.take(key);
 
     const auto waiters = static_cast<std::uint32_t>(entry.waiters.size());
     SIM_CHECK_CTX(stalledWarps_ >= waiters, "tlb.mshr", kUnknownCycle,

@@ -6,16 +6,18 @@
  * memory accesses that need the translation park here until the page
  * table walk completes; the entry counts how many warps are stalled,
  * which feeds both the Fig. 6 measurement and the WarpsStalled term of
- * the MASK DRAM scheduler's Equation 1.
+ * the MASK DRAM scheduler's Equation 1. Entries live in a flat
+ * open-addressed table (common/flat_table.hh) keyed by tlbKey — this
+ * sits on the per-miss hot path.
  */
 
 #ifndef MASK_TLB_TLB_MSHR_HH
 #define MASK_TLB_TLB_MSHR_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_table.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "tlb/tlb.hh"
@@ -78,10 +80,13 @@ class TlbMshrTable
     /** Total warps currently stalled across all entries. */
     std::uint32_t stalledWarps() const { return stalledWarps_; }
 
-    /** All outstanding entries, keyed by tlbKey (watchdog sweeps). */
-    const std::unordered_map<std::uint64_t, Entry> &entries() const
+    /** Visit all outstanding entries (watchdog sweeps). */
+    template <typename Fn>
+    void
+    forEachEntry(Fn &&fn) const
     {
-        return table_;
+        table_.forEach(
+            [&fn](std::uint64_t, const Entry &entry) { fn(entry); });
     }
 
     /** Warps currently stalled for one application. */
@@ -97,7 +102,7 @@ class TlbMshrTable
 
   private:
     std::uint32_t entries_;
-    std::unordered_map<std::uint64_t, Entry> table_;
+    FlatTable<Entry> table_;
     std::vector<std::uint32_t> stalledPerApp_;
     std::uint32_t stalledWarps_ = 0;
     RunningStat warpsPerMiss_;

@@ -29,16 +29,19 @@ PageTable::walkToLeafNode(Vpn vpn, bool allocate)
     // Levels 1..3 are interior; the level-4 node holds leaf PTEs.
     for (std::uint32_t level = 1; level < kPtLevels; ++level) {
         const std::uint32_t idx = levelIndex(vpn, level);
-        auto it = node->children.find(idx);
-        if (it == node->children.end()) {
+        Node *child = node->child(idx);
+        if (child == nullptr) {
             if (!allocate)
                 return nullptr;
-            auto child = std::make_unique<Node>();
-            child->frame = frames_.allocate();
+            if (node->children.empty())
+                node->children.resize(1u << kPtBitsPerLevel);
+            auto fresh = std::make_unique<Node>();
+            fresh->frame = frames_.allocate();
             ++nodeCount_;
-            it = node->children.emplace(idx, std::move(child)).first;
+            child = fresh.get();
+            node->children[idx] = std::move(fresh);
         }
-        node = it->second.get();
+        node = child;
     }
     return node;
 }
@@ -46,21 +49,20 @@ PageTable::walkToLeafNode(Vpn vpn, bool allocate)
 Pfn
 PageTable::mapPage(Vpn vpn)
 {
-    auto it = mapped_.find(vpn);
-    if (it != mapped_.end())
-        return it->second;
+    if (const Pfn *pfn = mapped_.find(vpn))
+        return *pfn;
 
     walkToLeafNode(vpn, true);
     const Pfn pfn = frames_.allocate();
-    mapped_.emplace(vpn, pfn);
+    mapped_.insert(vpn, pfn);
     return pfn;
 }
 
 Pfn
 PageTable::lookup(Vpn vpn) const
 {
-    auto it = mapped_.find(vpn);
-    return it == mapped_.end() ? kInvalidPfn : it->second;
+    const Pfn *pfn = mapped_.find(vpn);
+    return pfn == nullptr ? kInvalidPfn : *pfn;
 }
 
 std::array<Addr, kPtLevels>
@@ -73,11 +75,8 @@ PageTable::walkAddrs(Vpn vpn) const
         const std::uint32_t idx = levelIndex(vpn, level);
         addrs[level - 1] =
             frames_.frameAddr(node->frame) + Addr{idx} * kPteBytes;
-        if (level < kPtLevels) {
-            auto it = node->children.find(idx);
-            node = it == node->children.end() ? nullptr
-                                              : it->second.get();
-        }
+        if (level < kPtLevels)
+            node = node->child(idx);
     }
     return addrs;
 }
@@ -91,7 +90,7 @@ PageTable::rootAddr() const
 bool
 PageTable::unmapPage(Vpn vpn)
 {
-    return mapped_.erase(vpn) > 0;
+    return mapped_.erase(vpn);
 }
 
 } // namespace mask

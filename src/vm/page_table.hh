@@ -15,9 +15,9 @@
 #include <array>
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_table.hh"
 #include "common/types.hh"
 
 namespace mask {
@@ -99,8 +99,20 @@ class PageTable
   private:
     struct Node
     {
-        Pfn frame;
-        std::unordered_map<std::uint32_t, std::unique_ptr<Node>> children;
+        Pfn frame = 0;
+        /**
+         * Direct-indexed child array, sized to the 512-entry radix on
+         * first child insertion (leaf-level nodes never pay for it).
+         * A walk then costs three array indexings, not three hash
+         * probes — walkAddrs runs once per page table walk.
+         */
+        std::vector<std::unique_ptr<Node>> children;
+
+        Node *
+        child(std::uint32_t idx) const
+        {
+            return children.empty() ? nullptr : children[idx].get();
+        }
     };
 
     std::uint32_t levelIndex(Vpn vpn, std::uint32_t level) const;
@@ -110,7 +122,8 @@ class PageTable
     std::uint32_t pageBits_;
     FrameAllocator &frames_;
     std::unique_ptr<Node> root_;
-    std::unordered_map<Vpn, Pfn> mapped_;
+    /** Leaf VPN -> PFN map; probed on every warp memory access. */
+    FlatTable<Pfn> mapped_;
     std::uint64_t nodeCount_ = 0;
 };
 

@@ -93,5 +93,63 @@ TEST(RequestPool, FieldsRoundTrip)
     EXPECT_TRUE(read.bypassL2);
 }
 
+TEST(RequestPool, ReservePresizesWithoutAllocating)
+{
+    RequestPool pool;
+    pool.reserve(64);
+    EXPECT_EQ(pool.liveCount(), 0u);
+    EXPECT_EQ(pool.capacity(), 0u); // no slots created, only reserved
+
+    std::vector<ReqId> ids;
+    for (int i = 0; i < 64; ++i)
+        ids.push_back(pool.alloc());
+    // The backing store was reserved up front, so addresses of
+    // requests stay stable across all 64 allocations.
+    MemRequest *first = &pool[ids[0]];
+    EXPECT_EQ(pool.capacity(), 64u);
+    EXPECT_EQ(&pool[ids[0]], first);
+    for (const ReqId id : ids)
+        pool.release(id);
+}
+
+TEST(RequestPool, TracksPeakLiveAndTotalAllocated)
+{
+    RequestPool pool;
+    const ReqId a = pool.alloc();
+    const ReqId b = pool.alloc();
+    const ReqId c = pool.alloc();
+    EXPECT_EQ(pool.peakLive(), 3u);
+    pool.release(b);
+    pool.release(c);
+    const ReqId d = pool.alloc();
+    EXPECT_EQ(pool.peakLive(), 3u); // high-water, not current
+    EXPECT_EQ(pool.liveCount(), 2u);
+    EXPECT_EQ(pool.totalAllocated(), 4u);
+    pool.release(a);
+    pool.release(d);
+}
+
+TEST(RequestPool, HighWaterMarkTripsInvariant)
+{
+    RequestPool pool;
+    pool.setHighWater(2);
+    const ReqId a = pool.alloc();
+    const ReqId b = pool.alloc();
+    EXPECT_THROW(pool.alloc(), SimInvariantError);
+    pool.release(a);
+    pool.release(b);
+}
+
+TEST(RequestPool, ZeroHighWaterDisablesTheCheck)
+{
+    RequestPool pool;
+    std::vector<ReqId> ids;
+    for (int i = 0; i < 100; ++i)
+        ids.push_back(pool.alloc());
+    EXPECT_EQ(pool.peakLive(), 100u);
+    for (const ReqId id : ids)
+        pool.release(id);
+}
+
 } // namespace
 } // namespace mask

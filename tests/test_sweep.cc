@@ -1,0 +1,241 @@
+/**
+ * Tests for the parallel workload-sweep engine: parallel results must
+ * be identical to serial ones, the shared alone-IPC memo must dedup
+ * across workers, and the memo key must distinguish configurations
+ * that share a name (the fingerprint regression).
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "sim/presets.hh"
+#include "sim/runner.hh"
+#include "sim/sweep.hh"
+
+using namespace mask;
+
+namespace {
+
+RunOptions
+shortOptions()
+{
+    RunOptions options;
+    options.warmup = 2000;
+    options.measure = 6000;
+    return options;
+}
+
+std::vector<SweepJob>
+sampleJobs()
+{
+    const GpuConfig arch = archByName("maxwell");
+    std::vector<SweepJob> jobs;
+    for (const DesignPoint point :
+         {DesignPoint::SharedTlb, DesignPoint::Mask,
+          DesignPoint::Ideal}) {
+        jobs.push_back({arch, point, {"HISTO", "LPS"}});
+        jobs.push_back({arch, point, {"3DS", "RED"}});
+    }
+    return jobs;
+}
+
+} // namespace
+
+TEST(Sweep, ParallelResultsIdenticalToSerial)
+{
+    const std::vector<SweepJob> jobs = sampleJobs();
+
+    SweepRunner serial(shortOptions(), 1);
+    SweepRunner parallel(shortOptions(), 4);
+    for (const SweepJob &job : jobs) {
+        serial.submit(job);
+        parallel.submit(job);
+    }
+    serial.run();
+    parallel.run();
+
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const PairResult &a = serial.result(i);
+        const PairResult &b = parallel.result(i);
+        ASSERT_EQ(a.sharedIpc.size(), b.sharedIpc.size());
+        for (std::size_t app = 0; app < a.sharedIpc.size(); ++app) {
+            EXPECT_EQ(a.sharedIpc[app], b.sharedIpc[app])
+                << "job " << i << " app " << app;
+            EXPECT_EQ(a.aloneIpc[app], b.aloneIpc[app])
+                << "job " << i << " app " << app;
+        }
+        EXPECT_EQ(a.weightedSpeedup, b.weightedSpeedup) << "job " << i;
+        EXPECT_EQ(a.unfairness, b.unfairness) << "job " << i;
+        EXPECT_EQ(a.stats.cycles, b.stats.cycles) << "job " << i;
+        EXPECT_EQ(a.stats.l2Tlb.hits, b.stats.l2Tlb.hits)
+            << "job " << i;
+        EXPECT_EQ(a.stats.dram.busBusy[0], b.stats.dram.busBusy[0])
+            << "job " << i;
+    }
+}
+
+TEST(Sweep, AloneCacheSharedAcrossWorkers)
+{
+    // Two jobs over the same pair at the same design point need the
+    // same two alone runs: the shared memo must end up with exactly
+    // one entry per (config, bench), not one per worker.
+    SweepRunner sweep(shortOptions(), 4);
+    const GpuConfig arch = archByName("maxwell");
+    for (int i = 0; i < 4; ++i)
+        sweep.submit({arch, DesignPoint::SharedTlb, {"HISTO", "LPS"}});
+    sweep.run();
+    EXPECT_EQ(sweep.aloneCacheSize(), 2u);
+
+    // A second batch over the same workload reuses the memo.
+    sweep.submit({arch, DesignPoint::SharedTlb, {"HISTO", "LPS"}});
+    sweep.run();
+    EXPECT_EQ(sweep.aloneCacheSize(), 2u);
+}
+
+TEST(Sweep, SharedOnlyModeSkipsAloneRuns)
+{
+    SweepRunner sweep(shortOptions(), 2);
+    const GpuConfig arch = archByName("maxwell");
+    sweep.submit({arch, DesignPoint::SharedTlb, {"HISTO", "LPS"},
+                  SweepMode::SharedOnly});
+    sweep.run();
+    EXPECT_EQ(sweep.aloneCacheSize(), 0u);
+    EXPECT_EQ(sweep.result(0).sharedIpc.size(), 2u);
+    EXPECT_TRUE(sweep.result(0).aloneIpc.empty());
+    EXPECT_EQ(sweep.result(0).weightedSpeedup, 0.0);
+}
+
+TEST(Sweep, ResultIndicesFollowSubmissionOrder)
+{
+    SweepRunner sweep(shortOptions(), 4);
+    const GpuConfig arch = archByName("maxwell");
+    const std::size_t a = sweep.submit({arch, DesignPoint::SharedTlb,
+                                        {"HISTO"},
+                                        SweepMode::SharedOnly});
+    const std::size_t b = sweep.submit(
+        {arch, DesignPoint::SharedTlb, {"LPS"}, SweepMode::SharedOnly});
+    EXPECT_EQ(a, 0u);
+    EXPECT_EQ(b, 1u);
+    sweep.run();
+
+    // Distinguishable results: the two benches run different
+    // instruction mixes, so their IPCs differ.
+    Evaluator eval(shortOptions());
+    const GpuStats histo =
+        eval.runShared(arch, DesignPoint::SharedTlb, {"HISTO"});
+    EXPECT_EQ(sweep.result(a).stats.ipc[0], histo.ipc[0]);
+}
+
+TEST(Sweep, WorkerExceptionPropagates)
+{
+    SweepRunner sweep(shortOptions(), 2);
+    const GpuConfig arch = archByName("maxwell");
+    GpuConfig broken = arch;
+    broken.l2Tlb.entries = 0; // rejected by validateConfig
+    sweep.submit({arch, DesignPoint::SharedTlb, {"HISTO"},
+                  SweepMode::SharedOnly});
+    sweep.submit({broken, DesignPoint::SharedTlb, {"LPS"},
+                  SweepMode::SharedOnly});
+    EXPECT_THROW(sweep.run(), ConfigError);
+}
+
+TEST(Sweep, JobsEnvVariableParsing)
+{
+    // sweepJobs() itself reads the environment; exercise the parse
+    // rules via setenv round-trips.
+    setenv("MASK_BENCH_JOBS", "3", 1);
+    EXPECT_EQ(sweepJobs(), 3u);
+    setenv("MASK_BENCH_JOBS", "1", 1);
+    EXPECT_EQ(sweepJobs(), 1u);
+    setenv("MASK_BENCH_JOBS", "0", 1);
+    EXPECT_GE(sweepJobs(), 1u); // hardware concurrency, at least 1
+    unsetenv("MASK_BENCH_JOBS");
+    EXPECT_EQ(sweepJobs(), 1u);
+}
+
+TEST(AloneIpcCache, SameNameDifferentConfigGetsDistinctEntries)
+{
+    // Regression for the old name-keyed memo: two architectures that
+    // share cfg.name but differ in a behavioural parameter (the
+    // sec73 sweep pattern) must not share alone IPCs.
+    GpuConfig small = archByName("maxwell");
+    GpuConfig large = archByName("maxwell");
+    small.l2Tlb.entries = 64;
+    large.l2Tlb.entries = 8192;
+    ASSERT_EQ(small.name, large.name);
+
+    // 3DS is TLB-sensitive, so the two TLB sizes must also produce
+    // measurably different alone IPCs (windows long enough to miss).
+    RunOptions options;
+    options.warmup = 10000;
+    options.measure = 40000;
+    Evaluator eval(options);
+    const double ipc_small =
+        eval.aloneIpc(small, DesignPoint::SharedTlb, "3DS", 15);
+    EXPECT_EQ(eval.aloneCacheSize(), 1u);
+    const double ipc_large =
+        eval.aloneIpc(large, DesignPoint::SharedTlb, "3DS", 15);
+    EXPECT_EQ(eval.aloneCacheSize(), 2u);
+
+    // And a repeated query hits the memo instead of adding entries.
+    EXPECT_EQ(
+        eval.aloneIpc(small, DesignPoint::SharedTlb, "3DS", 15),
+        ipc_small);
+    EXPECT_EQ(eval.aloneCacheSize(), 2u);
+
+    // The tiny TLB must actually simulate differently.
+    EXPECT_NE(ipc_small, ipc_large);
+}
+
+TEST(ConfigFingerprint, IgnoresNameCoversEveryBehaviouralField)
+{
+    const GpuConfig base = archByName("maxwell");
+
+    GpuConfig renamed = base;
+    renamed.name = "something-else";
+    EXPECT_EQ(configFingerprint(base), configFingerprint(renamed));
+
+    GpuConfig changed = base;
+    changed.l2Tlb.entries *= 2;
+    EXPECT_NE(configFingerprint(base), configFingerprint(changed));
+
+    changed = base;
+    changed.seed += 1;
+    EXPECT_NE(configFingerprint(base), configFingerprint(changed));
+
+    changed = base;
+    changed.mask.tlbTokens = !changed.mask.tlbTokens;
+    EXPECT_NE(configFingerprint(base), configFingerprint(changed));
+
+    changed = base;
+    changed.coreShares = {10, 20};
+    EXPECT_NE(configFingerprint(base), configFingerprint(changed));
+
+    changed = base;
+    changed.mask.initialTokenFraction += 0.01;
+    EXPECT_NE(configFingerprint(base), configFingerprint(changed));
+
+    changed = base;
+    changed.harden.watchdog.sweepInterval += 1;
+    EXPECT_NE(configFingerprint(base), configFingerprint(changed));
+
+    changed = base;
+    changed.dram.tRcd += 1;
+    EXPECT_NE(configFingerprint(base), configFingerprint(changed));
+}
+
+TEST(ConfigFingerprint, DesignPointsAreDistinguished)
+{
+    const GpuConfig base = archByName("maxwell");
+    std::vector<std::uint64_t> prints;
+    for (const DesignPoint point : kAllDesignPoints)
+        prints.push_back(
+            configFingerprint(applyDesignPoint(base, point)));
+    for (std::size_t i = 0; i < prints.size(); ++i)
+        for (std::size_t j = i + 1; j < prints.size(); ++j)
+            EXPECT_NE(prints[i], prints[j]) << i << " vs " << j;
+}
