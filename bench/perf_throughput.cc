@@ -24,12 +24,18 @@ emit(const char *label, DesignPoint point,
                 " \"cycles\": %llu, \"wall_seconds\": %.4f,"
                 " \"mega_cycles_per_sec\": %.3f, \"requests\": %llu,"
                 " \"requests_per_sec\": %.0f,"
-                " \"pool_peak_live\": %zu}\n",
+                " \"pool_peak_live\": %zu,"
+                " \"skipped_cycles\": %llu, \"skip_windows\": %llu,"
+                " \"skip_fraction\": %.3f}\n",
                 label, designPointName(point), benches.size(),
                 static_cast<unsigned long long>(stats.cycles),
                 stats.wallSeconds, stats.megaCyclesPerSec(),
                 static_cast<unsigned long long>(stats.requests),
-                stats.requestsPerSec(), stats.poolPeakLive);
+                stats.requestsPerSec(), stats.poolPeakLive,
+                static_cast<unsigned long long>(stats.skippedCycles),
+                static_cast<unsigned long long>(stats.skipWindows),
+                safeDiv(static_cast<double>(stats.skippedCycles),
+                        static_cast<double>(stats.cycles)));
 }
 
 int

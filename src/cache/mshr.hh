@@ -59,6 +59,14 @@ class MshrTable
     std::uint64_t merges() const { return merges_; }
     std::uint64_t rejections() const { return rejections_; }
 
+    /**
+     * Account @p n allocate() attempts that were elided because the
+     * caller proved they would return Full (event-driven retry paths
+     * advance the rejection counter in closed form so the stats match
+     * a per-cycle re-probe bit for bit).
+     */
+    void addRejections(std::uint64_t n) { rejections_ += n; }
+
   private:
     std::uint32_t entries_;
     FlatTable<std::vector<ReqId>> table_;

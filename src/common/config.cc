@@ -317,7 +317,10 @@ configFingerprint(const GpuConfig &cfg)
 {
     // Deliberately excludes cfg.name: benches reuse one name across
     // distinct parameter sets, and the alone-IPC memo must never treat
-    // those as interchangeable.
+    // those as interchangeable. Also excludes cfg.cycleSkip: the
+    // event-driven loop is bit-identical to per-cycle stepping, so two
+    // configs differing only in it run identically by contract (the
+    // CycleSkip tier-1 suite enforces this).
     std::uint64_t h = 0x6d61736b2d666e76ull; // "mask-fnv"
 
     mix(h, cfg.numCores);

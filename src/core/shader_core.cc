@@ -62,6 +62,13 @@ ShaderCore::issue(Cycle now)
         return std::nullopt;
     }
 
+    // All warps waiting on memory: skip the scheduler entirely (the
+    // ready queue holds no Ready entries when readyCount_ is 0).
+    if (readyCount_ == 0) {
+        ++stallCycles_;
+        return std::nullopt;
+    }
+
     // GTO: stick with the greedy warp while it can issue; otherwise
     // take the oldest ready warp (FIFO order of stall completion).
     WarpId selected;

@@ -2,12 +2,21 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 
 #include "common/check.hh"
 
 namespace mask {
 
 namespace {
+
+/** MASK_NO_CYCLE_SKIP=1 forces the legacy per-cycle loop. */
+bool
+cycleSkipDisabledByEnv()
+{
+    const char *env = std::getenv("MASK_NO_CYCLE_SKIP");
+    return env != nullptr && env[0] == '1';
+}
 
 /** Validate before any member construction touches derived quantities
  *  (e.g. numSets() divides by lineBytes); cfg_ is the first member. */
@@ -88,6 +97,15 @@ Gpu::Gpu(const GpuConfig &cfg, const std::vector<AppDesc> &apps)
 
     l2Input_.resize(cfg_.l2.banks);
     coreTransWaiters_.resize(cfg_.numCores);
+    coreDataWake_.resize(cfg_.numCores, 0);
+    dramRetryFull_.resize(static_cast<std::size_t>(
+        dram_.numChannels() * 2 * apps.size()));
+
+    // Fault injection draws its RNG on a per-cycle schedule, so the
+    // event-driven loop would have to replay it anyway; fall back to
+    // per-cycle stepping whenever the injector is live (DESIGN.md §9).
+    cycleSkip_ = cfg_.cycleSkip && !faults_.enabled() &&
+                 !cycleSkipDisabledByEnv();
 
     // Steady-state in-flight bound: one request per L1 MSHR entry
     // (primary data misses) plus one PTE fetch per walker thread.
@@ -155,14 +173,152 @@ Gpu::~Gpu() = default;
 void
 Gpu::run(Cycle cycles)
 {
+    // Probing for a skip costs a scan of the DRAM queues; when the
+    // machine is saturated the probe fails every cycle, so a failed
+    // probe backs off this many cycles before trying again. Purely a
+    // host-side heuristic: it decides only whether a provably-empty
+    // window is skipped or ticked, never what the window computes.
+    constexpr Cycle kSkipProbeBackoff = 8;
+
     const auto wall_start = std::chrono::steady_clock::now();
     const Cycle end = now_ + cycles;
-    while (now_ < end)
-        tickOne();
+    if (!cycleSkip_) {
+        while (now_ < end)
+            tickOne();
+    } else {
+        while (now_ < end) {
+            tickOne();
+            if (now_ >= end || now_ < nextSkipProbe_)
+                continue;
+            const Cycle next = nextEventCycle();
+            if (next > now_)
+                skipTo(std::min(next, end));
+            else
+                nextSkipProbe_ = now_ + kSkipProbeBackoff;
+        }
+    }
     wallSeconds_ +=
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       wall_start)
             .count();
+}
+
+Cycle
+Gpu::nextEventCycle() const
+{
+    const Cycle now = now_;
+
+    // The DRAM retry deque re-probes channel queues every cycle and
+    // its rejects feed scheduler counters, so it pins per-cycle
+    // stepping. The data/translation retry deques do not: they are
+    // event-gated (woken by memory responses, which the memory-side
+    // bounds below account for), and the data-retry stats the legacy
+    // per-cycle probes accumulated are advanced in closed form by
+    // skipTo().
+    if (!dramRetry_.empty())
+        return now;
+
+    // A core with a ready warp issues this cycle. Idle cores have no
+    // self-wakeup: they are woken by memory responses, which the
+    // memory-side bounds below account for.
+    for (const auto &core : cores_) {
+        if (core->canIssueNow())
+            return now;
+    }
+
+    // Walker work available right now. Capacity frees only through
+    // walk completion (a memory event), so a queued walk with no free
+    // thread needs no bound of its own.
+    if (walker_.hasPendingFetch() ||
+        (!walkStartQueue_.empty() && walker_.hasCapacity()))
+        return now;
+
+    Cycle next = kNeverCycle;
+
+    // Fixed-latency pipes: queued inputs drain as ports free up each
+    // cycle (work now); otherwise the FIFO head completes first.
+    if (l2Work_ > 0) {
+        for (std::uint32_t b = 0; b < l2Pipe_.numBanks(); ++b) {
+            if (!l2Input_[b].empty())
+                return now;
+            next = std::min(next, l2Pipe_.bank(b).nextReadyAt());
+        }
+    }
+    if (cfg_.design == TranslationDesign::PwCache) {
+        if (!pwInput_.empty())
+            return now;
+        next = std::min(next, pwCachePipe_.nextReadyAt());
+    }
+    if (cfg_.design == TranslationDesign::SharedTlb) {
+        if (!l2TlbInput_.empty())
+            return now;
+        next = std::min(next, l2TlbPipe_.nextReadyAt());
+    }
+
+    // DRAM: consult only when busy, mirroring the tickOne gate (an
+    // idle subsystem is never ticked, so it can contribute no event).
+    if (dram_.busy()) {
+        next = std::min(next, dram_.nextEventCycle(now));
+        if (next <= now)
+            return now;
+    }
+
+    // A drained core waits out its switch penalty.
+    if (switchesInFlight_ > 0) {
+        for (CoreId c = 0; c < cores_.size(); ++c) {
+            const PendingSwitch &sw = pendingSwitch_[c];
+            if (!sw.pending || !cores_[c]->drained())
+                continue;
+            if (sw.notBefore <= now)
+                return now;
+            next = std::min(next, sw.notBefore);
+        }
+    }
+
+    // Time-driven components.
+    next = std::min(next, walkSampler_.nextDue());
+    next = std::min(next, readySampler_.nextDue());
+    next = std::min(next, nextEpoch_);
+    next = std::min(next, watchdog_.nextDue());
+    return next;
+}
+
+void
+Gpu::skipTo(Cycle target)
+{
+    const Cycle skipped = target - now_;
+
+    // Closed-form advance of the only per-cycle accumulators that run
+    // in an otherwise-empty window: warp stall counters and (under the
+    // MASK DRAM scheduler) the Equation 1 quota sums. Their inputs are
+    // constant across the window because nothing else does work in it.
+    for (auto &core : cores_)
+        core->skipIdleCycles(skipped);
+    // Parked MSHR-full data accesses: the per-cycle retry pass counts
+    // one L1 miss probe and one MSHR rejection per parked entry per
+    // cycle (their outcome is pinned until a response arrives, so the
+    // counts are exact).
+    for (const DataRetry &retry : dataRetry_) {
+        ShaderCore &core = *cores_[retry.access.core];
+        core.l1dStats().misses += skipped;
+        core.l1Mshr().addRejections(skipped);
+    }
+    if (cfg_.mask.dramSched) {
+        for (AppId a = 0; a < apps_.size(); ++a) {
+            quota_.sampleN(a, walker_.activeWalksFor(a),
+                           stalledAccesses_[a], skipped);
+        }
+    }
+
+    skippedCycles_ += skipped;
+    ++skipWindows_;
+    std::size_t bucket = 0;
+    while (bucket + 1 < kSkipHistBuckets &&
+           (Cycle{1} << (bucket + 1)) <= skipped)
+        ++bucket;
+    ++skipWindowLog2_[bucket];
+
+    now_ = target;
 }
 
 void
@@ -226,17 +382,43 @@ Gpu::stageDram()
         onMemResponse(id);
     }
 
-    // Retry requests that found their channel queue full.
-    for (std::size_t n = dramRetry_.size(); n > 0; --n) {
-        const ReqId id = dramRetry_.front();
-        dramRetry_.pop_front();
-        if (dram_.canEnqueue(pool_[id])) {
-            pool_[id].where = "dram-queue";
-            dram_.enqueue(id, pool_[id], now_);
-        } else {
-            dramRetry_.push_back(id);
+    if (dramRetry_.empty())
+        return;
+
+    // Retry requests that found their channel queue full. Queue space
+    // only shrinks while this loop runs (the channels already ticked;
+    // retries only add), so a (channel, type, app) key that fails
+    // canEnqueue once cannot succeed later in the same cycle: memoize
+    // the failure and keep later same-key requests in place instead of
+    // re-probing them. Compaction preserves FIFO order exactly.
+    std::fill(dramRetryFull_.begin(), dramRetryFull_.end(),
+              std::uint8_t{0});
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < dramRetry_.size(); ++i) {
+        const ReqId id = dramRetry_[i];
+        MemRequest &req = pool_[id];
+        const std::size_t key = dramRetryKey(req);
+        if (dramRetryFull_[key] == 0) {
+            if (dram_.canEnqueue(req)) {
+                req.where = "dram-queue";
+                dram_.enqueue(id, req, now_);
+                continue;
+            }
+            dramRetryFull_[key] = 1;
         }
+        dramRetry_[kept++] = id;
     }
+    dramRetry_.resize(kept);
+}
+
+std::size_t
+Gpu::dramRetryKey(const MemRequest &req) const
+{
+    const std::uint32_t channel =
+        dram_.mapper().map(req.paddr, req.app).channel;
+    const std::size_t is_translation =
+        req.type == ReqType::Translation ? 1 : 0;
+    return (channel * 2 + is_translation) * apps_.size() + req.app;
 }
 
 // ---------------------------------------------------------------------
@@ -339,6 +521,11 @@ Gpu::respondUp(ReqId id)
     if (req.origin == ReqOrigin::WarpData) {
         ShaderCore &core = *cores_[req.core];
         const std::uint64_t key = l2CacheKey(req.paddr);
+        // This response is the only event that can change the outcome
+        // of this core's parked MSHR-full accesses (L1 fill or MSHR
+        // entry freed); wake them for this cycle's retry pass.
+        coreDataWake_[req.core] = 1;
+        anyCoreDataWake_ = true;
         core.l1d().fill(key);
         std::vector<ReqId> warps = core.l1Mshr().complete(key);
         for (const ReqId warp : warps)
@@ -572,11 +759,17 @@ Gpu::startWalkFor(Asid asid, Vpn vpn, AppId app)
 void
 Gpu::stageWalker()
 {
-    // Retry MSHR-full translation misses.
-    for (std::size_t n = tlbMissRetry_.size(); n > 0; --n) {
-        const std::uint32_t slot = tlbMissRetry_.front();
-        tlbMissRetry_.pop_front();
-        tlbMissToWalker(slot);
+    // Retry MSHR-full translation misses, but only on cycles where a
+    // walk completion freed an entry: between completions the table
+    // stays full and gains no keys (allocation needs space), so every
+    // probe would return Full without touching any state.
+    if (tlbRetryWake_) {
+        tlbRetryWake_ = false;
+        for (std::size_t n = tlbMissRetry_.size(); n > 0; --n) {
+            const std::uint32_t slot = tlbMissRetry_.front();
+            tlbMissRetry_.pop_front();
+            tlbMissToWalker(slot);
+        }
     }
 
     // Start queued walks as walker threads free up.
@@ -657,6 +850,10 @@ Gpu::finishWalk(WalkId walk)
                                 .app = info.app, .walkId = walk}));
 
     TlbMshrTable::Entry entry = tlbMshr_.complete(info.asid, info.vpn);
+    // Freeing a TLB MSHR entry is the only event that can unpark an
+    // MSHR-full translation slot (allocate's Full path is mutation-
+    // free, and no entry can be added while any slot is parked).
+    tlbRetryWake_ = true;
     tlbMissLatency_.add(
         static_cast<double>(now_ - entry.firstMissCycle));
 
@@ -717,11 +914,32 @@ Gpu::fillL2TlbOnWalkDone(const TlbMshrTable::Entry &entry, Pfn pfn)
 void
 Gpu::stageCores()
 {
-    // Retry data accesses that found the L1 MSHRs full.
-    for (std::size_t n = dataRetry_.size(); n > 0; --n) {
-        const DataRetry retry = dataRetry_.front();
-        dataRetry_.pop_front();
-        startDataAccess(retry.access, retry.app, retry.pfn);
+    // Retry data accesses that found the L1 MSHRs full. A parked
+    // access can only stop parking when its core receives a memory
+    // response (L1 fill or MSHR completion, both in respondUp): while
+    // none arrives the core's MSHR table stays full, its L1 cannot
+    // newly hit, and no key can be added for a merge. Probe only woken
+    // cores' entries; for the rest, advance the miss/rejection
+    // counters the elided probe would have bumped, in closed form.
+    // The single FIFO deque is kept (rotation preserves order) so the
+    // request-pool allocation order matches the per-cycle loop.
+    if (!dataRetry_.empty()) {
+        for (std::size_t n = dataRetry_.size(); n > 0; --n) {
+            const DataRetry retry = dataRetry_.front();
+            dataRetry_.pop_front();
+            if (coreDataWake_[retry.access.core] != 0) {
+                startDataAccess(retry.access, retry.app, retry.pfn);
+            } else {
+                ShaderCore &core = *cores_[retry.access.core];
+                ++core.l1dStats().misses;
+                core.l1Mshr().addRejections(1);
+                dataRetry_.push_back(retry);
+            }
+        }
+    }
+    if (anyCoreDataWake_) {
+        std::fill(coreDataWake_.begin(), coreDataWake_.end(), 0);
+        anyCoreDataWake_ = false;
     }
 
     for (auto &core : cores_) {
@@ -1052,6 +1270,10 @@ Gpu::resetStats()
     watchdog_.resetStats();
     wallSeconds_ = 0.0;
     allocsAtReset_ = pool_.totalAllocated();
+    skippedCycles_ = 0;
+    skipWindows_ = 0;
+    std::fill(std::begin(skipWindowLog2_), std::end(skipWindowLog2_),
+              std::uint64_t{0});
 }
 
 GpuStats
@@ -1101,6 +1323,10 @@ Gpu::collect()
     out.poolCapacity = pool_.capacity();
     out.wallSeconds = wallSeconds_;
     out.requests = pool_.totalAllocated() - allocsAtReset_;
+    out.skippedCycles = skippedCycles_;
+    out.skipWindows = skipWindows_;
+    out.skipWindowLog2.assign(std::begin(skipWindowLog2_),
+                              std::end(skipWindowLog2_));
     out.watchdogSweeps = watchdog_.sweeps();
     out.watchdogMaxAgeSeen = watchdog_.maxAgeSeen();
     out.faultsInjected =

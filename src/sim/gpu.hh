@@ -93,6 +93,16 @@ struct GpuStats
     double wallSeconds = 0.0;      //!< host time spent inside run()
     std::uint64_t requests = 0;    //!< pool allocations in the window
 
+    // Event-driven loop observability (DESIGN.md §9): cycles the main
+    // loop fast-forwarded past instead of ticking, how many contiguous
+    // windows that took, and a log2 histogram of window lengths
+    // (bucket i counts windows of [2^i, 2^(i+1)) cycles). Host-side
+    // accounting like wallSeconds: simulated results are bit-identical
+    // with skipping on or off.
+    std::uint64_t skippedCycles = 0;
+    std::uint64_t skipWindows = 0;
+    std::vector<std::uint64_t> skipWindowLog2;
+
     /** Simulated mega-cycles advanced per host second. */
     double megaCyclesPerSec() const;
     /** Memory-hierarchy requests simulated per host second. */
@@ -222,6 +232,26 @@ class Gpu
         Pfn pfn = 0;
     };
 
+    // --- Event-driven main loop (DESIGN.md §9) ---
+
+    /**
+     * Lower bound on the next cycle >= now_ at which any component
+     * does work. Returning now_ is always safe (it just disables the
+     * skip); a value beyond now_ is a guarantee that every tickOne()
+     * in (now_, bound) would be a no-op except for the per-cycle
+     * accumulators that skipTo() advances in closed form.
+     */
+    Cycle nextEventCycle() const;
+
+    /**
+     * Fast-forward now_ to @p target (exclusive of its tick),
+     * closed-form-advancing per-cycle state: core stall counters
+     * (ShaderCore::skipIdleCycles) and the Silver-queue quota sums
+     * (SilverQuotaController::sampleN). Bit-identical to ticking the
+     * window cycle by cycle.
+     */
+    void skipTo(Cycle target);
+
     // --- Pipeline stages (called from tickOne in order) ---
     void stageFaults();
     void stageDram();
@@ -310,6 +340,10 @@ class Gpu
     // DRAM.
     Dram dram_;
     std::deque<ReqId> dramRetry_;
+    /** Per-cycle memo of (channel, type, app) keys whose target queue
+     *  rejected an enqueue this cycle (stageDram retry loop). */
+    std::vector<std::uint8_t> dramRetryFull_;
+    std::size_t dramRetryKey(const MemRequest &req) const;
 
     // Hardening: watchdog + deterministic fault injection.
     Watchdog watchdog_;
@@ -346,6 +380,18 @@ class Gpu
     std::uint64_t switchSeed_ = 0;
 
     std::deque<DataRetry> dataRetry_;
+    /**
+     * Event-driven retry wakeups (DESIGN.md §9): a parked data access
+     * can change outcome only when its core receives a memory response
+     * (L1 fill + MSHR completion both happen in respondUp), and a
+     * parked translation slot only when the shared TLB MSHR completes
+     * an entry (finishWalk). On other cycles the legacy per-cycle
+     * probes were provable no-ops apart from the L1 miss/rejection
+     * counters, which the retry loop advances in closed form instead.
+     */
+    std::vector<std::uint8_t> coreDataWake_;
+    bool anyCoreDataWake_ = false;
+    bool tlbRetryWake_ = false;
     /** Index of each core within its application's core list. */
     std::vector<std::uint16_t> coreAppIndex_;
 
@@ -363,6 +409,18 @@ class Gpu
     std::size_t l2Work_ = 0;
     /** Cores with an unfinished app switch (skip stageSwitches). */
     std::uint32_t switchesInFlight_ = 0;
+
+    // --- Event-driven loop state (DESIGN.md §9) ---
+    static constexpr std::size_t kSkipHistBuckets = 16;
+    /** Skipping resolved at construction: cfg_.cycleSkip, no fault
+     *  injection, and MASK_NO_CYCLE_SKIP unset. */
+    bool cycleSkip_ = false;
+    /** After a failed skip probe, don't re-probe until this cycle
+     *  (deterministic backoff; affects only host-side skip stats). */
+    Cycle nextSkipProbe_ = 0;
+    std::uint64_t skippedCycles_ = 0;
+    std::uint64_t skipWindows_ = 0;
+    std::uint64_t skipWindowLog2_[kSkipHistBuckets] = {};
 
     // --- Host-side throughput accounting ---
     double wallSeconds_ = 0.0;      //!< accumulated inside run()

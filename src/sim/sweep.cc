@@ -1,5 +1,6 @@
 #include "sim/sweep.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <exception>
@@ -72,7 +73,13 @@ SweepRunner::run()
 {
     if (pending_.empty())
         return;
-    if (jobs_ == 1 || pending_.size() == 1)
+    // Inline on the calling thread whenever a single worker would do
+    // all the work anyway: a one-thread pool pays spawn/join and
+    // atomic work-queue overhead for zero parallelism (visible as a
+    // <1.0 "speedup" on single-CPU hosts).
+    const std::size_t workers =
+        std::min<std::size_t>(jobs_, pending_.size());
+    if (workers <= 1)
         runSerial();
     else
         runParallel();

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Event-driven main loop equivalence (DESIGN.md §9): the cycle-skipping
+ * loop must produce bit-identical simulated results to per-cycle
+ * stepping, across design points and with fault injection on or off.
+ * Every deterministic GpuStats field is serialized and compared as a
+ * string so a mismatch names the diverging field.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "sim/gpu.hh"
+#include "workload/suite.hh"
+
+namespace mask {
+namespace {
+
+GpuConfig
+smallConfig()
+{
+    GpuConfig cfg;
+    cfg.numCores = 4;
+    cfg.warpsPerCore = 16;
+    cfg.l2 = CacheConfig{256 * 1024, 128, 8, 10, 4, 2, 64};
+    cfg.l2Tlb = TlbConfig{128, 8, 10, 2, 64};
+    cfg.dram.channels = 2;
+    cfg.mask.epochCycles = 2000;
+    return cfg;
+}
+
+BenchmarkParams
+smallBench(const char *name, std::uint32_t cold,
+           std::uint32_t run = 2)
+{
+    BenchmarkParams p;
+    p.name = name;
+    p.hotPages = 4;
+    p.coldPages = cold;
+    p.hotFraction = 0.1;
+    p.pageRun = run;
+    p.streamFraction = 0.6;
+    p.blockWarps = 16;
+    p.randWindow = 4;
+    p.stepAccesses = 24;
+    p.computeMean = 4;
+    p.memDivergence = 2;
+    p.lineReuse = 0.3;
+    return p;
+}
+
+void
+put(std::ostringstream &os, const char *tag, const HitMiss &hm)
+{
+    os << tag << ':' << hm.hits << '/' << hm.misses << '\n';
+}
+
+void
+put(std::ostringstream &os, const char *tag, const RunningStat &rs)
+{
+    os << tag << ':' << rs.count << ',' << std::hexfloat << rs.sum
+       << ',' << rs.minVal << ',' << rs.maxVal << std::defaultfloat
+       << '\n';
+}
+
+/**
+ * Serialize every simulated-machine field of GpuStats. Host-side
+ * observability (wallSeconds and the skip counters, which measure the
+ * loop itself) is deliberately excluded: it is the one place the two
+ * loops are allowed to differ.
+ */
+std::string
+statsDump(const GpuStats &s)
+{
+    std::ostringstream os;
+    os << "cycles:" << s.cycles << '\n';
+    for (std::size_t a = 0; a < s.instructions.size(); ++a) {
+        os << "instr" << a << ':' << s.instructions[a] << ','
+           << std::hexfloat << s.ipc[a] << std::defaultfloat << '\n';
+    }
+    put(os, "l1Tlb", s.l1Tlb);
+    put(os, "l2Tlb", s.l2Tlb);
+    for (std::size_t a = 0; a < s.l2TlbPerApp.size(); ++a)
+        put(os, "l2TlbApp", s.l2TlbPerApp[a]);
+    put(os, "bypassCache", s.bypassCache);
+    put(os, "pwCache", s.pwCache);
+    put(os, "l1d", s.l1d);
+    put(os, "l2Data", s.l2Cache[0]);
+    put(os, "l2Trans", s.l2Cache[1]);
+    for (const HitMiss &hm : s.l2CachePerLevel)
+        put(os, "l2Level", hm);
+    for (int t = 0; t < 2; ++t) {
+        os << "dram" << t << ':' << s.dram.busBusy[t] << ','
+           << s.dram.serviced[t] << '\n';
+        put(os, "dramLat", s.dram.latency[t]);
+    }
+    os << "dramRow:" << s.dram.rowHits << ',' << s.dram.rowMisses
+       << ',' << s.dram.rowConflicts << ',' << s.dram.enqueueRejects
+       << ',' << s.dram.capEscalations << '\n';
+    os << "walks:" << s.walks << '\n';
+    put(os, "walkLatency", s.walkLatency);
+    put(os, "tlbMissLatency", s.tlbMissLatency);
+    put(os, "concurrentWalks", s.concurrentWalks);
+    for (const RunningStat &rs : s.concurrentWalksPerApp)
+        put(os, "concurrentWalksApp", rs);
+    put(os, "warpsPerMiss", s.warpsPerMiss);
+    for (const RunningStat &rs : s.warpsPerMissPerApp)
+        put(os, "warpsPerMissApp", rs);
+    put(os, "readyWarps", s.readyWarpsPerCore);
+    for (std::uint32_t t : s.tokens)
+        os << "tokens:" << t << '\n';
+    os << "l2Bypasses:" << s.l2Bypasses << '\n';
+    os << "warpStallCycles:" << s.warpStallCycles << '\n';
+    os << "watchdog:" << s.watchdogSweeps << ','
+       << s.watchdogMaxAgeSeen << '\n';
+    os << "faultsInjected:" << s.faultsInjected << '\n';
+    os << "pool:" << s.poolPeakLive << ',' << s.poolCapacity << '\n';
+    os << "requests:" << s.requests << '\n';
+    return os.str();
+}
+
+GpuStats
+runOnce(GpuConfig cfg, bool skip, bool faults)
+{
+    cfg.cycleSkip = skip;
+    if (faults) {
+        cfg.harden.fault.enabled = true;
+        cfg.harden.fault.dramDelayProb = 0.01;
+        cfg.harden.fault.walkDropProb = 0.005;
+        cfg.harden.fault.shootdownInterval = 4000;
+    }
+    const BenchmarkParams a = smallBench("a", 5000);
+    const BenchmarkParams b = smallBench("b", 100, 8);
+    Gpu gpu(cfg, {AppDesc{&a}, AppDesc{&b}});
+    gpu.run(3000);
+    gpu.resetStats();
+    gpu.run(9000);
+    return gpu.collect();
+}
+
+class CycleSkipEquivalence
+    : public ::testing::TestWithParam<std::tuple<DesignPoint, bool>>
+{
+};
+
+TEST_P(CycleSkipEquivalence, SkippingLoopMatchesPerCycleLoop)
+{
+    const DesignPoint point = std::get<0>(GetParam());
+    const bool faults = std::get<1>(GetParam());
+    const GpuConfig cfg = applyDesignPoint(smallConfig(), point);
+    const GpuStats with = runOnce(cfg, true, faults);
+    const GpuStats without = runOnce(cfg, false, faults);
+    EXPECT_EQ(statsDump(with), statsDump(without));
+    // The per-cycle loop must never report a skipped cycle.
+    EXPECT_EQ(without.skippedCycles, 0u);
+    EXPECT_EQ(without.skipWindows, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDesigns, CycleSkipEquivalence,
+    ::testing::Combine(::testing::Values(DesignPoint::SharedTlb,
+                                         DesignPoint::Mask,
+                                         DesignPoint::Ideal),
+                       ::testing::Bool()),
+    [](const auto &info) {
+        return std::string(designPointName(std::get<0>(info.param))) +
+               (std::get<1>(info.param) ? "_faults" : "_clean");
+    });
+
+/**
+ * A stall-heavy configuration (one warp on one core, long memory
+ * round trips) must actually open skip windows — otherwise the
+ * equivalence suite above would be comparing two per-cycle loops.
+ */
+GpuConfig
+stallHeavyConfig()
+{
+    GpuConfig cfg = smallConfig();
+    cfg.numCores = 1;
+    cfg.warpsPerCore = 1;
+    return cfg;
+}
+
+BenchmarkParams
+stallHeavyBench()
+{
+    BenchmarkParams p = smallBench("stall", 5000);
+    p.blockWarps = 1;
+    p.computeMean = 64;
+    return p;
+}
+
+TEST(CycleSkip, StallHeavyRunActuallySkips)
+{
+    const BenchmarkParams a = stallHeavyBench();
+    Gpu gpu(stallHeavyConfig(), {AppDesc{&a}});
+    gpu.run(20000);
+    const GpuStats stats = gpu.collect();
+    EXPECT_GT(stats.skippedCycles, 0u);
+    EXPECT_GT(stats.skipWindows, 0u);
+    std::uint64_t histTotal = 0;
+    for (const std::uint64_t bucket : stats.skipWindowLog2)
+        histTotal += bucket;
+    EXPECT_EQ(histTotal, stats.skipWindows);
+}
+
+TEST(CycleSkip, EnvKillSwitchForcesPerCycleLoop)
+{
+    ASSERT_EQ(setenv("MASK_NO_CYCLE_SKIP", "1", 1), 0);
+    const BenchmarkParams a = stallHeavyBench();
+    Gpu gpu(stallHeavyConfig(), {AppDesc{&a}});
+    gpu.run(20000);
+    unsetenv("MASK_NO_CYCLE_SKIP");
+    const GpuStats stats = gpu.collect();
+    EXPECT_EQ(stats.skippedCycles, 0u);
+    EXPECT_EQ(stats.skipWindows, 0u);
+}
+
+TEST(CycleSkip, FingerprintIgnoresCycleSkip)
+{
+    GpuConfig on = smallConfig();
+    GpuConfig off = smallConfig();
+    on.cycleSkip = true;
+    off.cycleSkip = false;
+    EXPECT_EQ(configFingerprint(on), configFingerprint(off));
+}
+
+} // namespace
+} // namespace mask

@@ -106,6 +106,74 @@ TEST(FlatTable, MatchesUnorderedMapUnderRandomChurn)
     }
 }
 
+TEST(FlatTable, DifferentialChurnAcrossWrapAroundWithTake)
+{
+    // Differential test against std::unordered_map with the key space
+    // constrained so every home slot lands in the top three indices of
+    // a fixed-capacity table: probe chains and backward-shift
+    // deletions are forced to wrap from the top of the slot array back
+    // to index 0, the trickiest path in removeAt(). Insertions are
+    // capped below the growth threshold so the capacity (and with it
+    // the engineered clustering) never changes mid-test.
+    FlatTable<std::string> table(4);
+    const std::size_t cap = table.capacity();
+    std::vector<std::uint64_t> keys;
+    for (std::uint64_t k = 0; keys.size() < 24; ++k) {
+        if ((mixHash64(k) & (cap - 1)) >= cap - 3)
+            keys.push_back(k);
+    }
+
+    std::unordered_map<std::uint64_t, std::string> reference;
+    Rng rng(0xC0FFEE);
+    std::uint64_t generation = 0;
+    for (int i = 0; i < 50000; ++i) {
+        const std::uint64_t key = keys[rng.below(keys.size())];
+        const bool present = reference.count(key) != 0;
+        switch (rng.below(3)) {
+          case 0: // insert (only when absent and below growth load)
+            if (!present && reference.size() + 2 < (cap * 3) / 4) {
+                const std::string value =
+                    std::to_string(key) + "#" +
+                    std::to_string(++generation);
+                table.insert(key, value);
+                reference.emplace(key, value);
+            }
+            break;
+          case 1: // erase, present or not
+            EXPECT_EQ(table.erase(key), present);
+            reference.erase(key);
+            break;
+          case 2: // take (requires presence)
+            if (present) {
+                EXPECT_EQ(table.take(key), reference.at(key));
+                reference.erase(key);
+            }
+            break;
+        }
+        const std::string *found = table.find(key);
+        if (reference.count(key) != 0) {
+            ASSERT_NE(found, nullptr);
+            EXPECT_EQ(*found, reference.at(key));
+        } else {
+            EXPECT_EQ(found, nullptr);
+        }
+        ASSERT_EQ(table.size(), reference.size());
+        ASSERT_EQ(table.capacity(), cap) << "table grew unexpectedly";
+
+        if (i % 1000 == 999) {
+            // Full-content sweep: forEach must visit exactly the
+            // reference's entries, each once, with current values.
+            std::unordered_map<std::uint64_t, std::string> seen;
+            table.forEach(
+                [&](std::uint64_t k, const std::string &value) {
+                    EXPECT_TRUE(seen.emplace(k, value).second)
+                        << "key visited twice: " << k;
+                });
+            ASSERT_EQ(seen, reference);
+        }
+    }
+}
+
 TEST(FlatTable, ForEachVisitsEveryLiveEntryOnce)
 {
     FlatTable<int> table;
