@@ -107,5 +107,46 @@ guardedMain(int (*body)())
     }
 }
 
+const PairResult *
+okResult(const SweepRunner &sweep, std::size_t index)
+{
+    return sweep.outcome(index).status == SweepStatus::Ok
+               ? &sweep.result(index)
+               : nullptr;
+}
+
+std::string
+failedCell(const SweepRunner &sweep, std::size_t index)
+{
+    return std::string("FAILED(") +
+           sweepStatusName(sweep.outcome(index).status) + ")";
+}
+
+std::size_t
+reportFailures(const SweepRunner &sweep)
+{
+    const std::size_t failed = sweep.failedJobs();
+    if (failed == 0)
+        return 0;
+    std::printf("\n%zu of %zu sweep jobs did not complete:\n", failed,
+                sweep.completedJobs());
+    for (std::size_t i = 0; i < sweep.completedJobs(); ++i) {
+        const SweepOutcome &outcome = sweep.outcome(i);
+        if (outcome.status == SweepStatus::Ok)
+            continue;
+        std::printf("  job %zu: FAILED(%s) after %u attempt%s — %s\n",
+                    i, sweepStatusName(outcome.status),
+                    outcome.attempts,
+                    outcome.attempts == 1 ? "" : "s",
+                    outcome.error.c_str());
+        if (!outcome.reproPath.empty()) {
+            std::printf("    repro: %s (crash_replay --replay %s)\n",
+                        outcome.reproPath.c_str(),
+                        outcome.reproPath.c_str());
+        }
+    }
+    return failed;
+}
+
 } // namespace bench
 } // namespace mask

@@ -58,6 +58,24 @@ std::string fmt(double v, int decimals = 3);
  */
 int guardedMain(int (*body)());
 
+/**
+ * Result of job @p index if it completed, nullptr otherwise. The
+ * graceful-degradation idiom for sweeps under a resilience policy:
+ * render the row when non-null, render failedCell() when null, and
+ * leave aggregates to the jobs that finished.
+ */
+const PairResult *okResult(const SweepRunner &sweep, std::size_t index);
+
+/** "FAILED(<status>)" marker cell for a job that did not complete. */
+std::string failedCell(const SweepRunner &sweep, std::size_t index);
+
+/**
+ * Print one stdout line per failed job (index, status, error, repro
+ * path if harvested) plus a summary; silent when every job completed.
+ * Returns the number of failed jobs so benches can flag the run.
+ */
+std::size_t reportFailures(const SweepRunner &sweep);
+
 } // namespace bench
 } // namespace mask
 

@@ -37,22 +37,40 @@ main()
     int n = 0;
     std::size_t next = 0;
     for (const WorkloadPair &pair : pairs) {
-        const double ideal =
-            sweep.result(ids[next++]).weightedSpeedup;
-        const double pw = sweep.result(ids[next++]).weightedSpeedup;
-        const double shared =
-            sweep.result(ids[next++]).weightedSpeedup;
-        const double pw_norm = safeDiv(pw, ideal);
-        const double shared_norm = safeDiv(shared, ideal);
+        const std::size_t id_ideal = ids[next++];
+        const std::size_t id_pw = ids[next++];
+        const std::size_t id_shared = ids[next++];
+        const PairResult *r_ideal = bench::okResult(sweep, id_ideal);
+        const PairResult *r_pw = bench::okResult(sweep, id_pw);
+        const PairResult *r_shared = bench::okResult(sweep, id_shared);
+        if (r_ideal == nullptr || r_pw == nullptr ||
+            r_shared == nullptr) {
+            // The row normalizes against Ideal, so any of the three
+            // failing spoils the whole row (and the averages).
+            const std::size_t bad = r_ideal == nullptr ? id_ideal
+                                    : r_pw == nullptr ? id_pw
+                                                      : id_shared;
+            std::printf("%-14s %10s %10s\n", pair.name().c_str(),
+                        bench::failedCell(sweep, bad).c_str(),
+                        bench::failedCell(sweep, bad).c_str());
+            continue;
+        }
+        const double pw_norm =
+            safeDiv(r_pw->weightedSpeedup, r_ideal->weightedSpeedup);
+        const double shared_norm = safeDiv(r_shared->weightedSpeedup,
+                                           r_ideal->weightedSpeedup);
         std::printf("%-14s %10.3f %10.3f\n", pair.name().c_str(),
                     pw_norm, shared_norm);
         pw_sum += pw_norm;
         shared_sum += shared_norm;
         ++n;
     }
-    std::printf("%-14s %10.3f %10.3f\n", "AVG", pw_sum / n,
-                shared_sum / n);
+    if (n > 0) {
+        std::printf("%-14s %10.3f %10.3f\n", "AVG", pw_sum / n,
+                    shared_sum / n);
+    }
     std::printf("\nPaper: PWCache 55.0%% / SharedTLB 59.4%% of Ideal "
                 "on average (45.0%% and 40.6%% overhead).\n");
+    bench::reportFailures(sweep);
     return 0;
 }

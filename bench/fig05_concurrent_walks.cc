@@ -30,7 +30,14 @@ main()
     std::printf("%-8s %8s %8s %8s\n", "bench", "avg", "min", "max");
     std::size_t next = 0;
     for (const BenchmarkParams &benchp : benchmarkSuite()) {
-        const GpuStats &stats = sweep.result(ids[next++]).stats;
+        const std::size_t id = ids[next++];
+        const PairResult *r = bench::okResult(sweep, id);
+        if (r == nullptr) {
+            std::printf("%-8s %8s\n", benchp.name,
+                        bench::failedCell(sweep, id).c_str());
+            continue;
+        }
+        const GpuStats &stats = r->stats;
         std::printf("%-8s %8.1f %8.0f %8.0f\n", benchp.name,
                     stats.concurrentWalks.mean(),
                     stats.concurrentWalks.minVal,
@@ -38,5 +45,6 @@ main()
     }
     std::printf("\nPaper: up to 20-60 concurrent walks for "
                 "TLB-intensive benchmarks, near zero for LUD/NN.\n");
+    bench::reportFailures(sweep);
     return 0;
 }

@@ -31,7 +31,14 @@ main()
                 "min", "max", "misses");
     std::size_t next = 0;
     for (const BenchmarkParams &benchp : benchmarkSuite()) {
-        const GpuStats &stats = sweep.result(ids[next++]).stats;
+        const std::size_t id = ids[next++];
+        const PairResult *r = bench::okResult(sweep, id);
+        if (r == nullptr) {
+            std::printf("%-8s %10s\n", benchp.name,
+                        bench::failedCell(sweep, id).c_str());
+            continue;
+        }
+        const GpuStats &stats = r->stats;
         std::printf("%-8s %10.1f %8.0f %8.0f %10llu\n", benchp.name,
                     stats.warpsPerMiss.mean(),
                     stats.warpsPerMiss.minVal,
@@ -43,5 +50,6 @@ main()
                 "benchmarks (of 64 per core); our lockstep model "
                 "reproduces multi-warp stalls at lower absolute "
                 "counts (see EXPERIMENTS.md).\n");
+    bench::reportFailures(sweep);
     return 0;
 }

@@ -51,18 +51,29 @@ main()
     std::size_t next = 0;
     for (const WorkloadPair &pair : fig7Pairs()) {
         const PairIds &pid = ids[next++];
-        const GpuStats &stats = sweep.result(pid.shared).stats;
+        const PairResult *shared = bench::okResult(sweep, pid.shared);
         const char *apps[2] = {pair.first, pair.second};
         for (int i = 0; i < 2; ++i) {
-            const double alone = sweep.result(pid.alone[i])
-                                     .stats.l2Tlb.missRate();
+            const PairResult *alone =
+                bench::okResult(sweep, pid.alone[i]);
+            if (shared == nullptr || alone == nullptr) {
+                const std::size_t bad =
+                    shared == nullptr ? pid.shared : pid.alone[i];
+                std::printf("%-12s %-8s %10s\n", pair.name().c_str(),
+                            apps[i],
+                            bench::failedCell(sweep, bad).c_str());
+                continue;
+            }
             std::printf("%-12s %-8s %9.1f%% %9.1f%%\n",
-                        pair.name().c_str(), apps[i], 100.0 * alone,
-                        100.0 * stats.l2TlbPerApp[i].missRate());
+                        pair.name().c_str(), apps[i],
+                        100.0 * alone->stats.l2Tlb.missRate(),
+                        100.0 *
+                            shared->stats.l2TlbPerApp[i].missRate());
         }
     }
     std::printf("\nPaper: sharing raises the L2 TLB miss rate "
                 "substantially for most applications in these four "
                 "pairs.\n");
+    bench::reportFailures(sweep);
     return 0;
 }

@@ -36,7 +36,14 @@ main()
     int n = 0;
     std::size_t next = 0;
     for (const WorkloadPair &pair : pairs) {
-        const GpuStats &stats = sweep.result(ids[next++]).stats;
+        const std::size_t id = ids[next++];
+        const PairResult *r = bench::okResult(sweep, id);
+        if (r == nullptr) {
+            std::printf("%-14s %12s\n", pair.name().c_str(),
+                        bench::failedCell(sweep, id).c_str());
+            continue;
+        }
+        const GpuStats &stats = r->stats;
         const double trans =
             stats.dramBusUtil(ReqType::Translation, channels);
         const double data = stats.dramBusUtil(ReqType::Data, channels);
@@ -47,10 +54,13 @@ main()
         data_sum += data;
         ++n;
     }
-    std::printf("%-14s %11.1f%% %11.1f%% %13.1f%%\n", "AVG",
-                100.0 * trans_sum / n, 100.0 * data_sum / n,
-                100.0 * safeDiv(trans_sum, trans_sum + data_sum));
+    if (n > 0) {
+        std::printf("%-14s %11.1f%% %11.1f%% %13.1f%%\n", "AVG",
+                    100.0 * trans_sum / n, 100.0 * data_sum / n,
+                    100.0 * safeDiv(trans_sum, trans_sum + data_sum));
+    }
     std::printf("\nPaper: translation requests consume 13.8%% of the "
                 "utilized bandwidth (2.4%% of maximum).\n");
+    bench::reportFailures(sweep);
     return 0;
 }

@@ -35,7 +35,14 @@ main()
     int n = 0;
     std::size_t next = 0;
     for (const WorkloadPair &pair : pairs) {
-        const GpuStats &stats = sweep.result(ids[next++]).stats;
+        const std::size_t id = ids[next++];
+        const PairResult *r = bench::okResult(sweep, id);
+        if (r == nullptr) {
+            std::printf("%-14s %14s\n", pair.name().c_str(),
+                        bench::failedCell(sweep, id).c_str());
+            continue;
+        }
+        const GpuStats &stats = r->stats;
         const double trans = stats.dram.latency[1].mean();
         const double data = stats.dram.latency[0].mean();
         std::printf("%-14s %14.0f %12.0f %8.2f\n",
@@ -45,10 +52,14 @@ main()
         data_sum += data;
         ++n;
     }
-    std::printf("%-14s %14.0f %12.0f %8.2f\n", "AVG", trans_sum / n,
-                data_sum / n, safeDiv(trans_sum, data_sum));
+    if (n > 0) {
+        std::printf("%-14s %14.0f %12.0f %8.2f\n", "AVG",
+                    trans_sum / n, data_sum / n,
+                    safeDiv(trans_sum, data_sum));
+    }
     std::printf("\nPaper: translation requests see HIGHER average "
                 "DRAM latency than data requests under FR-FCFS "
                 "(low row-buffer locality de-prioritizes them).\n");
+    bench::reportFailures(sweep);
     return 0;
 }

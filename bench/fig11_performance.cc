@@ -37,19 +37,23 @@ run()
     }
     sweep.run();
 
-    // category (0,1,2, 3=all) x design -> sum/count
+    // category (0,1,2, 3=all) x design -> sum/count. Counts are kept
+    // per (category, design) so a failed job drops out of its own
+    // average without skewing the designs that did complete.
     std::map<int, std::map<DesignPoint, double>> sums;
-    std::map<int, int> counts;
+    std::map<int, std::map<DesignPoint, int>> counts;
 
     std::size_t next = 0;
     for (const WorkloadPair &pair : pairs) {
         for (const DesignPoint point : designs) {
-            const PairResult &r = sweep.result(ids[next++]);
-            sums[pair.hmr][point] += r.weightedSpeedup;
-            sums[3][point] += r.weightedSpeedup;
+            const PairResult *r = bench::okResult(sweep, ids[next++]);
+            if (r == nullptr)
+                continue;
+            sums[pair.hmr][point] += r->weightedSpeedup;
+            sums[3][point] += r->weightedSpeedup;
+            ++counts[pair.hmr][point];
+            ++counts[3][point];
         }
-        ++counts[pair.hmr];
-        ++counts[3];
     }
 
     std::printf("%-10s", "category");
@@ -58,24 +62,40 @@ run()
     std::printf("\n");
     const char *labels[4] = {"0-HMR", "1-HMR", "2-HMR", "Average"};
     for (int cat = 0; cat < 4; ++cat) {
-        if (counts[cat] == 0)
+        bool any = false;
+        for (const DesignPoint point : designs)
+            any = any || counts[cat][point] > 0;
+        if (!any)
             continue;
         std::printf("%-10s", labels[cat]);
-        for (const DesignPoint point : designs)
-            std::printf(" %10.3f", sums[cat][point] / counts[cat]);
+        for (const DesignPoint point : designs) {
+            if (counts[cat][point] > 0) {
+                std::printf(" %10.3f",
+                            sums[cat][point] / counts[cat][point]);
+            } else {
+                std::printf(" %10s", "FAILED");
+            }
+        }
         std::printf("\n");
     }
 
-    const double shared = sums[3][DesignPoint::SharedTlb];
-    const double mask_ws = sums[3][DesignPoint::Mask];
-    const double ideal = sums[3][DesignPoint::Ideal];
-    std::printf("\nMASK vs SharedTLB: %+.1f%%   MASK vs Ideal: "
-                "%.1f%% below\n",
-                100.0 * (mask_ws / shared - 1.0),
-                100.0 * (1.0 - mask_ws / ideal));
+    const auto mean = [&](DesignPoint point) {
+        const int n = counts[3][point];
+        return n > 0 ? sums[3][point] / n : 0.0;
+    };
+    const double shared = mean(DesignPoint::SharedTlb);
+    const double mask_ws = mean(DesignPoint::Mask);
+    const double ideal = mean(DesignPoint::Ideal);
+    if (shared > 0.0 && ideal > 0.0) {
+        std::printf("\nMASK vs SharedTLB: %+.1f%%   MASK vs Ideal: "
+                    "%.1f%% below\n",
+                    100.0 * (mask_ws / shared - 1.0),
+                    100.0 * (1.0 - mask_ws / ideal));
+    }
     std::printf("Paper: MASK +57.8%% over SharedTLB, 23.2%% below "
                 "Ideal (58.7%%/61.2%%/52.0%% gains for "
                 "0/1/2-HMR).\n");
+    bench::reportFailures(sweep);
     return 0;
 }
 

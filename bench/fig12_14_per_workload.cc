@@ -46,8 +46,15 @@ main()
                 continue;
             std::printf("%-14s", pair.name().c_str());
             for (std::size_t d = 0; d < designs.size(); ++d) {
-                std::printf(" %10.3f",
-                            sweep.result(ids[w][d]).weightedSpeedup);
+                const PairResult *r =
+                    bench::okResult(sweep, ids[w][d]);
+                if (r != nullptr) {
+                    std::printf(" %10.3f", r->weightedSpeedup);
+                } else {
+                    std::printf(
+                        " %10s",
+                        bench::failedCell(sweep, ids[w][d]).c_str());
+                }
             }
             std::printf("\n");
         }
@@ -55,5 +62,6 @@ main()
     std::printf("\nPaper: MASK outperforms Static, PWCache and "
                 "SharedTLB on every workload; gains are largest for "
                 "pairs with TLB-sensitive applications.\n");
+    bench::reportFailures(sweep);
     return 0;
 }

@@ -35,17 +35,21 @@ run()
     }
     sweep.run();
 
+    // Per-(category, design) counts so a failed job only drops out of
+    // its own average (see fig11).
     std::map<int, std::map<DesignPoint, double>> sums;
-    std::map<int, int> counts;
+    std::map<int, std::map<DesignPoint, int>> counts;
     std::size_t next = 0;
     for (const WorkloadPair &pair : pairs) {
         for (const DesignPoint point : designs) {
-            const PairResult &r = sweep.result(ids[next++]);
-            sums[pair.hmr][point] += r.unfairness;
-            sums[3][point] += r.unfairness;
+            const PairResult *r = bench::okResult(sweep, ids[next++]);
+            if (r == nullptr)
+                continue;
+            sums[pair.hmr][point] += r->unfairness;
+            sums[3][point] += r->unfairness;
+            ++counts[pair.hmr][point];
+            ++counts[3][point];
         }
-        ++counts[pair.hmr];
-        ++counts[3];
     }
 
     std::printf("%-10s", "category");
@@ -54,19 +58,35 @@ run()
     std::printf("\n");
     const char *labels[4] = {"0-HMR", "1-HMR", "2-HMR", "Average"};
     for (int cat = 0; cat < 4; ++cat) {
-        if (counts[cat] == 0)
+        bool any = false;
+        for (const DesignPoint point : designs)
+            any = any || counts[cat][point] > 0;
+        if (!any)
             continue;
         std::printf("%-10s", labels[cat]);
-        for (const DesignPoint point : designs)
-            std::printf(" %10.3f", sums[cat][point] / counts[cat]);
+        for (const DesignPoint point : designs) {
+            if (counts[cat][point] > 0) {
+                std::printf(" %10.3f",
+                            sums[cat][point] / counts[cat][point]);
+            } else {
+                std::printf(" %10s", "FAILED");
+            }
+        }
         std::printf("\n");
     }
-    const double base = sums[3][DesignPoint::SharedTlb];
-    const double mask_u = sums[3][DesignPoint::Mask];
-    std::printf("\nMASK unfairness vs SharedTLB: %+.1f%%\n",
-                100.0 * (mask_u / base - 1.0));
+    const auto mean = [&](DesignPoint point) {
+        const int n = counts[3][point];
+        return n > 0 ? sums[3][point] / n : 0.0;
+    };
+    const double base = mean(DesignPoint::SharedTlb);
+    const double mask_u = mean(DesignPoint::Mask);
+    if (base > 0.0) {
+        std::printf("\nMASK unfairness vs SharedTLB: %+.1f%%\n",
+                    100.0 * (mask_u / base - 1.0));
+    }
     std::printf("Paper: MASK reduces unfairness by 22.4%% on average "
                 "(20.1%%/25.0%%/21.8%% for 0/1/2-HMR).\n");
+    bench::reportFailures(sweep);
     return 0;
 }
 

@@ -56,10 +56,21 @@ main()
     std::printf("%-14s %12s %12s %12s %10s\n", "workload",
                 "L2TLB(base)", "L2TLB(tok)", "bypC hit", "tokens");
     double base_hit = 0.0, tok_hit = 0.0, byp_hit = 0.0;
+    int tok_n = 0;
     for (std::size_t w = 0; w < pairs.size(); ++w) {
         const WorkloadPair &pair = pairs[w];
-        const GpuStats &base = sweep.result(ids[w].base).stats;
-        const GpuStats &tok = sweep.result(ids[w].tokens).stats;
+        const PairResult *r_base = bench::okResult(sweep, ids[w].base);
+        const PairResult *r_tok =
+            bench::okResult(sweep, ids[w].tokens);
+        if (r_base == nullptr || r_tok == nullptr) {
+            const std::size_t bad =
+                r_base == nullptr ? ids[w].base : ids[w].tokens;
+            std::printf("%-14s %12s\n", pair.name().c_str(),
+                        bench::failedCell(sweep, bad).c_str());
+            continue;
+        }
+        const GpuStats &base = r_base->stats;
+        const GpuStats &tok = r_tok->stats;
         std::printf("%-14s %11.1f%% %11.1f%% %11.1f%% %5u/%-4u\n",
                     pair.name().c_str(),
                     100.0 * base.l2Tlb.hitRate(),
@@ -69,11 +80,14 @@ main()
         base_hit += base.l2Tlb.hitRate();
         tok_hit += tok.l2Tlb.hitRate();
         byp_hit += tok.bypassCache.hitRate();
+        ++tok_n;
     }
-    const double n = static_cast<double>(pairs.size());
-    std::printf("%-14s %11.1f%% %11.1f%% %11.1f%%\n", "AVG",
-                100.0 * base_hit / n, 100.0 * tok_hit / n,
-                100.0 * byp_hit / n);
+    if (tok_n > 0) {
+        const double n = static_cast<double>(tok_n);
+        std::printf("%-14s %11.1f%% %11.1f%% %11.1f%%\n", "AVG",
+                    100.0 * base_hit / n, 100.0 * tok_hit / n,
+                    100.0 * byp_hit / n);
+    }
     std::printf("Paper: MASK-TLB raises shared L2 TLB hit rate by "
                 "49.9%%; bypass cache hit rate 66.5%%.\n\n");
 
@@ -82,8 +96,18 @@ main()
                 "transHit(byp)", "bypassed");
     for (std::size_t w = 0; w < pairs.size(); ++w) {
         const WorkloadPair &pair = pairs[w];
-        const GpuStats &base = sweep.result(ids[w].base).stats;
-        const GpuStats &byp = sweep.result(ids[w].bypass).stats;
+        const PairResult *r_base = bench::okResult(sweep, ids[w].base);
+        const PairResult *r_byp =
+            bench::okResult(sweep, ids[w].bypass);
+        if (r_base == nullptr || r_byp == nullptr) {
+            const std::size_t bad =
+                r_base == nullptr ? ids[w].base : ids[w].bypass;
+            std::printf("%-14s %12s\n", pair.name().c_str(),
+                        bench::failedCell(sweep, bad).c_str());
+            continue;
+        }
+        const GpuStats &base = r_base->stats;
+        const GpuStats &byp = r_byp->stats;
         std::printf("%-14s %11.1f%% %11.1f%% %12llu\n",
                     pair.name().c_str(),
                     100.0 * base.l2Cache[1].hitRate(),
@@ -98,8 +122,18 @@ main()
                 "transLat", "transLat*", "dataLat", "dataLat*");
     for (std::size_t w = 0; w < pairs.size(); ++w) {
         const WorkloadPair &pair = pairs[w];
-        const GpuStats &base = sweep.result(ids[w].base).stats;
-        const GpuStats &sched = sweep.result(ids[w].sched).stats;
+        const PairResult *r_base = bench::okResult(sweep, ids[w].base);
+        const PairResult *r_sched =
+            bench::okResult(sweep, ids[w].sched);
+        if (r_base == nullptr || r_sched == nullptr) {
+            const std::size_t bad =
+                r_base == nullptr ? ids[w].base : ids[w].sched;
+            std::printf("%-14s %12s\n", pair.name().c_str(),
+                        bench::failedCell(sweep, bad).c_str());
+            continue;
+        }
+        const GpuStats &base = r_base->stats;
+        const GpuStats &sched = r_sched->stats;
         std::printf("%-14s %12.0f %12.0f %12.0f %12.0f\n",
                     pair.name().c_str(), base.dram.latency[1].mean(),
                     sched.dram.latency[1].mean(),
@@ -109,5 +143,6 @@ main()
     std::printf("(* = with the Address-Space-Aware DRAM Scheduler)\n");
     std::printf("Paper: the Golden Queue sharply reduces translation "
                 "DRAM latency at little data-latency cost.\n");
+    bench::reportFailures(sweep);
     return 0;
 }

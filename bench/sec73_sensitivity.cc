@@ -19,11 +19,36 @@ submitWs(SweepRunner &sweep, const GpuConfig &arch, DesignPoint point,
     return sweep.submit({arch, point, {pair.first, pair.second}});
 }
 
-double
-wsOf(const SweepRunner &sweep, std::size_t id)
+/**
+ * Mean weighted speedup over the jobs that completed; failed jobs
+ * drop out of the average, and a column with no survivors renders as
+ * a FAILED marker instead of a number.
+ */
+struct WsMean
 {
-    return sweep.result(id).weightedSpeedup;
-}
+    double sum = 0.0;
+    int n = 0;
+
+    void
+    add(const SweepRunner &sweep, std::size_t id)
+    {
+        if (const PairResult *r = bench::okResult(sweep, id)) {
+            sum += r->weightedSpeedup;
+            ++n;
+        }
+    }
+
+    std::string
+    cell(int width = 12) const
+    {
+        char buf[32];
+        if (n > 0)
+            std::snprintf(buf, sizeof(buf), "%*.3f", width, sum / n);
+        else
+            std::snprintf(buf, sizeof(buf), "%*s", width, "FAILED");
+        return buf;
+    }
+};
 
 } // namespace
 
@@ -59,13 +84,13 @@ main()
     sweep.run();
     std::size_t next = 0;
     for (const std::uint32_t entries : sizes) {
-        double shared = 0.0, mask_ws = 0.0;
+        WsMean shared, mask_ws;
         for (std::size_t w = 0; w < pairs.size(); ++w) {
-            shared += wsOf(sweep, size_ids[next++]);
-            mask_ws += wsOf(sweep, size_ids[next++]);
+            shared.add(sweep, size_ids[next++]);
+            mask_ws.add(sweep, size_ids[next++]);
         }
-        std::printf("%-8u %12.3f %12.3f\n", entries,
-                    shared / pairs.size(), mask_ws / pairs.size());
+        std::printf("%-8u %s %s\n", entries, shared.cell().c_str(),
+                    mask_ws.cell().c_str());
     }
     std::printf("Paper: MASK outperforms SharedTLB at every size "
                 "until the working set fits (8192 entries).\n\n");
@@ -86,16 +111,16 @@ main()
                 submitWs(sweep, arch, DesignPoint::Ideal, pair));
         }
         sweep.run();
-        double shared = 0.0, mask_ws = 0.0, ideal = 0.0;
+        WsMean shared, mask_ws, ideal;
         std::size_t pn = 0;
         for (std::size_t w = 0; w < pairs.size(); ++w) {
-            shared += wsOf(sweep, page_ids[pn++]);
-            mask_ws += wsOf(sweep, page_ids[pn++]);
-            ideal += wsOf(sweep, page_ids[pn++]);
+            shared.add(sweep, page_ids[pn++]);
+            mask_ws.add(sweep, page_ids[pn++]);
+            ideal.add(sweep, page_ids[pn++]);
         }
-        std::printf("SharedTLB %.3f   MASK %.3f   Ideal %.3f\n",
-                    shared / pairs.size(), mask_ws / pairs.size(),
-                    ideal / pairs.size());
+        std::printf("SharedTLB %s   MASK %s   Ideal %s\n",
+                    shared.cell(0).c_str(), mask_ws.cell(0).c_str(),
+                    ideal.cell(0).c_str());
         std::printf("Paper: with 2MB pages SharedTLB still falls "
                     "44.5%% short of Ideal while MASK is within "
                     "1.8%%.\n\n");
@@ -122,12 +147,12 @@ main()
         sweep.run();
         std::size_t gn = 0;
         for (const Cycle guard : guards) {
-            double mask_ws = 0.0;
+            WsMean mask_ws;
             for (std::size_t w = 0; w < pairs.size(); ++w)
-                mask_ws += wsOf(sweep, guard_ids[gn++]);
-            std::printf("%-12llu %12.3f\n",
+                mask_ws.add(sweep, guard_ids[gn++]);
+            std::printf("%-12llu %s\n",
                         static_cast<unsigned long long>(guard),
-                        mask_ws / pairs.size());
+                        mask_ws.cell().c_str());
         }
         std::printf("(0 = strict golden priority; large = always "
                     "defer to data row hits)\n\n");
@@ -156,15 +181,16 @@ main()
         sweep.run();
         std::size_t wn = 0;
         for (const std::uint32_t threads : counts) {
-            double shared = 0.0, mask_ws = 0.0;
+            WsMean shared, mask_ws;
             for (std::size_t w = 0; w < pairs.size(); ++w) {
-                shared += wsOf(sweep, walker_ids[wn++]);
-                mask_ws += wsOf(sweep, walker_ids[wn++]);
+                shared.add(sweep, walker_ids[wn++]);
+                mask_ws.add(sweep, walker_ids[wn++]);
             }
-            std::printf("%-10u %12.3f %12.3f\n", threads,
-                        shared / pairs.size(),
-                        mask_ws / pairs.size());
+            std::printf("%-10u %s %s\n", threads,
+                        shared.cell().c_str(),
+                        mask_ws.cell().c_str());
         }
     }
+    bench::reportFailures(sweep);
     return 0;
 }

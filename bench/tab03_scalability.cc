@@ -54,23 +54,41 @@ main()
 
     std::printf("%-22s %8s %8s %8s %8s %8s\n", "apps", "1", "2", "3",
                 "4", "5");
-    std::vector<double> shared_norm, mask_norm;
+    // A column normalizes two designs against Ideal, so any of its
+    // three jobs failing marks the whole column.
+    std::vector<std::string> shared_norm, mask_norm;
     std::size_t next = 0;
     for (std::size_t n = 1; n <= mix.size(); ++n) {
-        const double ideal = throughput(sweep.result(ids[next++]));
-        shared_norm.push_back(
-            safeDiv(throughput(sweep.result(ids[next++])), ideal));
-        mask_norm.push_back(
-            safeDiv(throughput(sweep.result(ids[next++])), ideal));
+        const std::size_t id_ideal = ids[next++];
+        const std::size_t id_shared = ids[next++];
+        const std::size_t id_mask = ids[next++];
+        const PairResult *r_ideal = bench::okResult(sweep, id_ideal);
+        const PairResult *r_shared = bench::okResult(sweep, id_shared);
+        const PairResult *r_mask = bench::okResult(sweep, id_mask);
+        const auto cell = [&](const PairResult *r,
+                              std::size_t bad_self) {
+            if (r_ideal == nullptr)
+                return " " + bench::failedCell(sweep, id_ideal);
+            if (r == nullptr)
+                return " " + bench::failedCell(sweep, bad_self);
+            char buf[16];
+            std::snprintf(buf, sizeof(buf), " %7.1f%%",
+                          100.0 * safeDiv(throughput(*r),
+                                          throughput(*r_ideal)));
+            return std::string(buf);
+        };
+        shared_norm.push_back(cell(r_shared, id_shared));
+        mask_norm.push_back(cell(r_mask, id_mask));
     }
     std::printf("%-22s", "SharedTLB/Ideal");
-    for (const double v : shared_norm)
-        std::printf(" %7.1f%%", 100.0 * v);
+    for (const std::string &v : shared_norm)
+        std::printf("%s", v.c_str());
     std::printf("\n%-22s", "MASK/Ideal");
-    for (const double v : mask_norm)
-        std::printf(" %7.1f%%", 100.0 * v);
+    for (const std::string &v : mask_norm)
+        std::printf("%s", v.c_str());
     std::printf("\n\nPaper: SharedTLB 47.1/48.7/38.8/34.2/33.1%% and "
                 "MASK 68.5/76.8/62.3/55.0/52.9%% of Ideal for 1-5 "
                 "apps; MASK's margin grows with concurrency.\n");
+    bench::reportFailures(sweep);
     return 0;
 }

@@ -42,25 +42,42 @@ main()
                 "SharedTLB", "MASK");
     std::size_t next = 0;
     for (const char *arch_name : {"fermi", "integrated"}) {
+        // A row averages Ideal-normalized speedups, so a pair counts
+        // only when its Ideal run and all three design runs finished.
         double sums[3] = {};
-        double ideal_sum = 0.0;
         int n = 0;
         for (std::size_t w = 0; w < pairs.size(); ++w) {
-            const double ideal =
-                sweep.result(ids[next++]).weightedSpeedup;
-            ideal_sum += ideal;
+            const PairResult *r_ideal =
+                bench::okResult(sweep, ids[next]);
+            bool complete = r_ideal != nullptr;
+            double norms[3] = {};
             for (std::size_t d = 0; d < designs.size(); ++d) {
-                sums[d] += safeDiv(
-                    sweep.result(ids[next++]).weightedSpeedup,
-                    ideal);
+                const PairResult *r =
+                    bench::okResult(sweep, ids[next + 1 + d]);
+                if (r == nullptr || r_ideal == nullptr)
+                    complete = false;
+                else
+                    norms[d] = safeDiv(r->weightedSpeedup,
+                                       r_ideal->weightedSpeedup);
             }
+            next += 1 + designs.size();
+            if (!complete)
+                continue;
+            for (std::size_t d = 0; d < designs.size(); ++d)
+                sums[d] += norms[d];
             ++n;
         }
-        std::printf("%-12s %9.1f%% %9.1f%% %9.1f%%\n", arch_name,
-                    100.0 * sums[0] / n, 100.0 * sums[1] / n,
-                    100.0 * sums[2] / n);
+        if (n > 0) {
+            std::printf("%-12s %9.1f%% %9.1f%% %9.1f%%\n", arch_name,
+                        100.0 * sums[0] / n, 100.0 * sums[1] / n,
+                        100.0 * sums[2] / n);
+        } else {
+            std::printf("%-12s %10s %10s %10s\n", arch_name, "FAILED",
+                        "FAILED", "FAILED");
+        }
     }
     std::printf("\nPaper: Fermi 53.1/60.4/78.0%%; integrated GPU "
                 "52.1/38.2/64.5%% of Ideal.\n");
+    bench::reportFailures(sweep);
     return 0;
 }

@@ -3,12 +3,40 @@
 # MASK_BENCH_CYCLES / MASK_BENCH_FAST / MASK_BENCH_PAIRS shrink runs;
 # MASK_BENCH_JOBS parallelizes the sweeps (default: all hardware
 # threads; output is byte-identical regardless of the job count).
-set -e
+# MASK_SWEEP_* (timeouts, retries, isolation, journal) harden long
+# sweeps; see README.md.
+#
+# Every bench runs even if an earlier one fails; the script prints a
+# per-bench PASS/FAIL summary and exits non-zero if any bench failed.
 MASK_BENCH_JOBS="${MASK_BENCH_JOBS:-0}"
 export MASK_BENCH_JOBS
+
+failed=""
+passed=0
+total=0
 for b in build/bench/*; do
     [ -f "$b" ] && [ -x "$b" ] || continue
+    name="$(basename "$b")"
+    # crash_replay is a repro-replay tool, not a figure/table bench;
+    # it exits non-zero without a --replay argument.
+    [ "$name" = "crash_replay" ] && continue
+    total=$((total + 1))
     echo ""
-    echo "########## $(basename "$b") ##########"
-    "$b" || echo "(non-zero exit: $?)"
+    echo "########## $name ##########"
+    if "$b"; then
+        passed=$((passed + 1))
+    else
+        status=$?
+        echo "(non-zero exit: $status)"
+        failed="$failed $name($status)"
+    fi
 done
+
+echo ""
+echo "########## summary ##########"
+echo "$passed/$total benches passed"
+if [ -n "$failed" ]; then
+    echo "FAILED:$failed"
+    exit 1
+fi
+echo "all benches PASS"

@@ -56,3 +56,34 @@ if ! diff -u "$out_a" "$out_b"; then
     exit 1
 fi
 echo "deterministic: MASK_NO_CYCLE_SKIP=1 byte-identical to skipping loop"
+
+# Journal resume (DESIGN.md §10) must also be invisible: kill the
+# bench mid-sweep (an injected hard crash), resume it from the JSONL
+# journal, and require the resumed stdout byte-identical to an
+# uninterrupted run. Loaded-from-journal results are decoded from the
+# exact hex-float encoding, so even one flipped bit would show here.
+echo "== run 5 (killed mid-sweep, resumed from journal) =="
+journal="$(mktemp)"
+repro="$(mktemp)"
+trap 'rm -f "$out_a" "$out_b" "$journal" "$repro"' EXIT
+rm -f "$journal"
+
+if MASK_BENCH_FAST=1 MASK_BENCH_PAIRS=4 MASK_BENCH_JOBS=1 \
+    MASK_SWEEP_JOURNAL="$journal" MASK_SWEEP_FAULT_CRASH=20 \
+    MASK_REPRO_FILE="$repro" "$BIN" >/dev/null 2>&1; then
+    echo "DETERMINISM FAILURE: injected crash did not kill the sweep" >&2
+    exit 1
+fi
+if [ ! -s "$journal" ]; then
+    echo "DETERMINISM FAILURE: no journal written before the crash" >&2
+    exit 1
+fi
+
+MASK_BENCH_FAST=1 MASK_BENCH_PAIRS=4 MASK_BENCH_JOBS=1 \
+    MASK_SWEEP_JOURNAL="$journal" "$BIN" >"$out_b" 2>/dev/null
+
+if ! diff -u "$out_a" "$out_b"; then
+    echo "DETERMINISM FAILURE: journal-resumed run diverged from uninterrupted run" >&2
+    exit 1
+fi
+echo "deterministic: journal resume byte-identical to uninterrupted run"

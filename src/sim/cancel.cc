@@ -1,0 +1,58 @@
+#include "sim/cancel.hh"
+
+namespace mask {
+
+namespace {
+
+thread_local CancelToken *tl_active_token = nullptr;
+
+} // namespace
+
+void
+CancelToken::cancel(const std::string &reason)
+{
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (reason_.empty())
+            reason_ = reason;
+    }
+    flag_.store(true, std::memory_order_release);
+}
+
+std::string
+CancelToken::reason() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return reason_;
+}
+
+ScopedCancelToken::ScopedCancelToken(CancelToken *token)
+    : prev_(tl_active_token)
+{
+    tl_active_token = token;
+}
+
+ScopedCancelToken::~ScopedCancelToken()
+{
+    tl_active_token = prev_;
+}
+
+CancelToken *
+activeCancelToken()
+{
+    return tl_active_token;
+}
+
+void
+pollCancellation()
+{
+    CancelToken *token = tl_active_token;
+    if (token == nullptr || !token->cancelled()) [[likely]]
+        return;
+    std::string why = token->reason();
+    if (why.empty())
+        why = "cancelled";
+    throw SimCancelledError(why);
+}
+
+} // namespace mask

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Cooperative cancellation for long-running simulations.
+ *
+ * A sweep worker installs a CancelToken for the duration of one job
+ * (ScopedCancelToken); the deadline monitor cancels the token from
+ * another thread when the job's wall-clock budget expires. The
+ * simulation main loop polls the calling thread's token once per
+ * iteration (pollCancellation) and unwinds with SimCancelledError,
+ * which the sweep engine records as a TimedOut outcome.
+ *
+ * Polling costs one thread-local load plus one relaxed atomic load,
+ * so it is safe to call from the per-cycle loop. Cancellation never
+ * changes the results of jobs that complete: it only decides whether
+ * a job finishes or unwinds.
+ */
+
+#ifndef MASK_SIM_CANCEL_HH
+#define MASK_SIM_CANCEL_HH
+
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+namespace mask {
+
+/** A job was cancelled mid-simulation (deadline exceeded). */
+class SimCancelledError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/** One job's cancellation flag; cancel() may race with cancelled(). */
+class CancelToken
+{
+  public:
+    /** Request cancellation; the first reason given wins. */
+    void cancel(const std::string &reason);
+
+    bool
+    cancelled() const
+    {
+        return flag_.load(std::memory_order_relaxed);
+    }
+
+    /** Reason passed to cancel(), or "" when not cancelled. */
+    std::string reason() const;
+
+  private:
+    std::atomic<bool> flag_{false};
+    mutable std::mutex mutex_;
+    std::string reason_;
+};
+
+/**
+ * Install @p token as the calling thread's active token for this
+ * scope; nests (the previous token is restored on destruction).
+ */
+class ScopedCancelToken
+{
+  public:
+    explicit ScopedCancelToken(CancelToken *token);
+    ~ScopedCancelToken();
+
+    ScopedCancelToken(const ScopedCancelToken &) = delete;
+    ScopedCancelToken &operator=(const ScopedCancelToken &) = delete;
+
+  private:
+    CancelToken *prev_;
+};
+
+/** The calling thread's active token, or nullptr. */
+CancelToken *activeCancelToken();
+
+/**
+ * Throw SimCancelledError when the calling thread's active token has
+ * been cancelled; no-op (and cheap) otherwise.
+ */
+void pollCancellation();
+
+} // namespace mask
+
+#endif // MASK_SIM_CANCEL_HH

@@ -1,8 +1,13 @@
 #include "sim/crash_repro.hh"
 
+#include <csignal>
 #include <cstdlib>
 #include <fstream>
+#include <mutex>
 #include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 namespace mask {
 
@@ -16,13 +21,10 @@ reproFilePath()
     return "mask_crash.repro";
 }
 
-void
-writeRepro(const std::string &path, const CrashRepro &repro)
+std::string
+formatRepro(const CrashRepro &repro)
 {
-    std::ofstream out(path);
-    if (!out)
-        throw std::runtime_error("cannot write repro file: " + path);
-
+    std::ostringstream out;
     out << "arch " << repro.arch << "\n";
     out << "design " << repro.design << "\n";
     for (const std::string &bench : repro.benches)
@@ -51,6 +53,16 @@ writeRepro(const std::string &path, const CrashRepro &repro)
     out << "failCycle " << repro.failCycle << "\n";
     out << "module " << repro.module << "\n";
     out << "detail " << repro.detail << "\n";
+    return out.str();
+}
+
+void
+writeRepro(const std::string &path, const CrashRepro &repro)
+{
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("cannot write repro file: " + path);
+    out << formatRepro(repro);
     if (!out)
         throw std::runtime_error("short write to repro file: " + path);
 }
@@ -135,7 +147,7 @@ loadRepro(const std::string &path)
 CrashRepro
 makeRepro(const GpuConfig &arch, DesignPoint point,
           const std::vector<std::string> &benches, Cycle warmup,
-          Cycle measure, const SimInvariantError &err)
+          Cycle measure)
 {
     CrashRepro repro;
     repro.arch = arch.name;
@@ -145,10 +157,134 @@ makeRepro(const GpuConfig &arch, DesignPoint point,
     repro.warmup = warmup;
     repro.measure = measure;
     repro.harden = arch.harden;
+    repro.module = "fatal-signal";
+    repro.detail = "armed (no failure recorded)";
+    return repro;
+}
+
+CrashRepro
+makeRepro(const GpuConfig &arch, DesignPoint point,
+          const std::vector<std::string> &benches, Cycle warmup,
+          Cycle measure, const SimInvariantError &err)
+{
+    CrashRepro repro = makeRepro(arch, point, benches, warmup, measure);
     repro.failCycle = err.cycle();
     repro.module = err.module();
     repro.detail = err.detail();
     return repro;
+}
+
+// ---------------------------------------------------------------------
+// Fatal-signal repro flushing
+// ---------------------------------------------------------------------
+
+namespace {
+
+/**
+ * Per-thread armed repro. The handler runs on the faulting thread, so
+ * thread-local state picks the right record when several sweep
+ * workers run concurrently. The content is pre-rendered at arm time;
+ * the handler only open()s, write()s, and close()s — the
+ * async-signal-safe subset.
+ */
+struct ArmedRepro
+{
+    bool armed = false;
+    std::string path;
+    std::string content;
+};
+
+thread_local ArmedRepro tl_armed_repro;
+
+/** "module fatal-signal\ndetail <SIG>\n" override tail, appended
+ *  after the base record so loadRepro's last-key-wins parse reports
+ *  the signal instead of the placeholder detail. */
+const char *
+signalTail(int sig)
+{
+    switch (sig) {
+      case SIGSEGV:
+        return "module fatal-signal\ndetail killed by SIGSEGV\n";
+      case SIGABRT:
+        return "module fatal-signal\ndetail killed by SIGABRT\n";
+      case SIGBUS:
+        return "module fatal-signal\ndetail killed by SIGBUS\n";
+      case SIGFPE:
+        return "module fatal-signal\ndetail killed by SIGFPE\n";
+      default:
+        return "module fatal-signal\ndetail killed by signal\n";
+    }
+}
+
+void
+writeAllFd(int fd, const char *data, std::size_t len)
+{
+    std::size_t done = 0;
+    while (done < len) {
+        const ::ssize_t n = ::write(fd, data + done, len - done);
+        if (n <= 0)
+            return; // nothing safe left to do in a signal handler
+        done += static_cast<std::size_t>(n);
+    }
+}
+
+extern "C" void
+fatalSignalHandler(int sig)
+{
+    const ArmedRepro &armed = tl_armed_repro;
+    if (armed.armed && !armed.path.empty()) {
+        const int fd = ::open(armed.path.c_str(),
+                              O_WRONLY | O_CREAT | O_TRUNC, 0644);
+        if (fd >= 0) {
+            writeAllFd(fd, armed.content.data(),
+                       armed.content.size());
+            const char *tail = signalTail(sig);
+            writeAllFd(fd, tail, __builtin_strlen(tail));
+            ::close(fd);
+        }
+    }
+    // Restore the default disposition and re-raise so the process
+    // still dies by the original signal (exit status, core dump).
+    ::signal(sig, SIG_DFL);
+    ::raise(sig);
+}
+
+} // namespace
+
+void
+installFatalSignalHandlers()
+{
+    static std::once_flag once;
+    std::call_once(once, []() {
+        if (const char *off = std::getenv("MASK_NO_SIGNAL_REPRO");
+            off != nullptr && off[0] == '1') {
+            return;
+        }
+        struct sigaction action = {};
+        action.sa_handler = fatalSignalHandler;
+        sigemptyset(&action.sa_mask);
+        for (const int sig : {SIGSEGV, SIGABRT, SIGBUS, SIGFPE})
+            ::sigaction(sig, &action, nullptr);
+    });
+}
+
+ScopedSignalRepro::ScopedSignalRepro(const CrashRepro &repro,
+                                     const std::string &path)
+    : prevPath_(std::move(tl_armed_repro.path)),
+      prevContent_(std::move(tl_armed_repro.content)),
+      prevArmed_(tl_armed_repro.armed)
+{
+    installFatalSignalHandlers();
+    tl_armed_repro.path = path;
+    tl_armed_repro.content = formatRepro(repro);
+    tl_armed_repro.armed = true;
+}
+
+ScopedSignalRepro::~ScopedSignalRepro()
+{
+    tl_armed_repro.path = std::move(prevPath_);
+    tl_armed_repro.content = std::move(prevContent_);
+    tl_armed_repro.armed = prevArmed_;
 }
 
 } // namespace mask

@@ -9,6 +9,14 @@
  * small key/value repro file. `replayRepro` (and the `crash_replay`
  * binary's `--replay <file>` flag) re-runs that configuration and
  * reports whether the failure reproduces at the recorded cycle.
+ *
+ * Hard crashes are covered too: fatal-signal handlers
+ * (SIGSEGV/SIGABRT/SIGBUS/SIGFPE) flush a pre-rendered repro for the
+ * run the faulting thread had armed (ScopedSignalRepro) before
+ * re-raising the signal, so a segfault loses neither the repro nor
+ * the original kill signal. The sweep engine's subprocess isolation
+ * mode harvests that file from the dead child and attaches its path
+ * to the job's failure record.
  */
 
 #ifndef MASK_SIM_CRASH_REPRO_HH
@@ -45,6 +53,9 @@ constexpr const char *kReproFileEnv = "MASK_REPRO_FILE";
 /** Repro path honoring MASK_REPRO_FILE. */
 std::string reproFilePath();
 
+/** Render @p repro to its key/value file format. */
+std::string formatRepro(const CrashRepro &repro);
+
 /** Serialize @p repro to @p path (throws std::runtime_error on I/O). */
 void writeRepro(const std::string &path, const CrashRepro &repro);
 
@@ -56,6 +67,43 @@ CrashRepro makeRepro(const GpuConfig &arch, DesignPoint point,
                      const std::vector<std::string> &benches,
                      Cycle warmup, Cycle measure,
                      const SimInvariantError &err);
+
+/** Repro record for a run that has not failed (yet): the signal
+ *  handler fills module/detail when a fatal signal lands. */
+CrashRepro makeRepro(const GpuConfig &arch, DesignPoint point,
+                     const std::vector<std::string> &benches,
+                     Cycle warmup, Cycle measure);
+
+/**
+ * Install process-wide SIGSEGV/SIGABRT/SIGBUS/SIGFPE handlers that
+ * write the faulting thread's armed repro (see ScopedSignalRepro)
+ * and then re-raise with the default disposition, preserving the
+ * kill signal and core dump. Idempotent; disabled entirely by
+ * MASK_NO_SIGNAL_REPRO=1.
+ */
+void installFatalSignalHandlers();
+
+/**
+ * Arm the calling thread's fatal-signal repro for this scope: a hard
+ * crash while armed writes @p repro (module/detail overridden with
+ * the signal name) to @p path. Scopes nest; the previous armed state
+ * is restored on destruction. Also installs the handlers on first
+ * use.
+ */
+class ScopedSignalRepro
+{
+  public:
+    ScopedSignalRepro(const CrashRepro &repro, const std::string &path);
+    ~ScopedSignalRepro();
+
+    ScopedSignalRepro(const ScopedSignalRepro &) = delete;
+    ScopedSignalRepro &operator=(const ScopedSignalRepro &) = delete;
+
+  private:
+    std::string prevPath_;
+    std::string prevContent_;
+    bool prevArmed_;
+};
 
 } // namespace mask
 

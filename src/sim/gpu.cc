@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "common/check.hh"
+#include "sim/cancel.hh"
 
 namespace mask {
 
@@ -182,11 +183,17 @@ Gpu::run(Cycle cycles)
 
     const auto wall_start = std::chrono::steady_clock::now();
     const Cycle end = now_ + cycles;
+    // A cancelled token (sweep deadline) unwinds here with
+    // SimCancelledError; the poll is one thread-local load when no
+    // token is installed, invisible next to a tick.
     if (!cycleSkip_) {
-        while (now_ < end)
+        while (now_ < end) {
+            pollCancellation();
             tickOne();
+        }
     } else {
         while (now_ < end) {
+            pollCancellation();
             tickOne();
             if (now_ >= end || now_ < nextSkipProbe_)
                 continue;

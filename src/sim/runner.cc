@@ -113,6 +113,13 @@ Evaluator::runShared(const GpuConfig &arch, DesignPoint point,
                      const std::vector<std::string> &bench_names)
 {
     const GpuConfig cfg = applyDesignPoint(arch, point);
+    // A hard crash (SIGSEGV/SIGABRT/...) during this run flushes the
+    // same repro record an invariant failure would, via the
+    // fatal-signal handlers.
+    const ScopedSignalRepro armed(
+        makeRepro(arch, point, bench_names, options_.warmup,
+                  options_.measure),
+        reproFilePath());
     try {
         Gpu gpu(cfg, toAppDescs(bench_names));
         gpu.run(options_.warmup);
@@ -144,6 +151,10 @@ Evaluator::aloneIpc(const GpuConfig &arch, DesignPoint point,
                             std::to_string(options_.warmup) + "/" +
                             std::to_string(options_.measure);
     return aloneCache_->getOrCompute(key, [&]() {
+        const ScopedSignalRepro armed(
+            makeRepro(cfg, point, {bench}, options_.warmup,
+                      options_.measure),
+            reproFilePath());
         try {
             Gpu gpu(cfg, toAppDescs({bench}));
             gpu.run(options_.warmup);

@@ -2,14 +2,132 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
 #include <cstdlib>
-#include <exception>
-#include <mutex>
+#include <cstring>
 #include <thread>
 
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include "common/check.hh"
+#include "sim/cancel.hh"
+#include "sim/crash_repro.hh"
+#include "sim/sweep_io.hh"
 
 namespace mask {
+
+namespace {
+
+std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    const char *env = std::getenv(name);
+    if (env == nullptr || env[0] == '\0')
+        return fallback;
+    const long long n = std::atoll(env);
+    return n >= 0 ? static_cast<std::uint64_t>(n) : fallback;
+}
+
+/**
+ * Deterministic fault injection for the resilience smoke tests:
+ * MASK_SWEEP_FAULT_CRASH=<job index> segfaults that job on every
+ * attempt, MASK_SWEEP_FAULT_HANG=<job index> spins it forever
+ * (cancellable, so a deadline can reclaim it in-process; SIGKILL
+ * reclaims it in isolation mode). Unset, this is a few getenv calls
+ * per job — invisible next to a simulation.
+ */
+void
+injectSweepTestFault(std::size_t job_idx)
+{
+    const auto matches = [job_idx](const char *name) {
+        const char *env = std::getenv(name);
+        if (env == nullptr || env[0] == '\0')
+            return false;
+        return std::atoll(env) ==
+               static_cast<long long>(job_idx);
+    };
+    if (matches("MASK_SWEEP_FAULT_CRASH")) {
+        volatile int *null_ptr = nullptr;
+        *null_ptr = 42; // deliberate SIGSEGV
+    }
+    if (matches("MASK_SWEEP_FAULT_HANG")) {
+        for (;;) {
+            pollCancellation();
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(5));
+        }
+    }
+}
+
+/** Watch a token for the scope of one attempt (no-op without a
+ *  monitor or deadline). */
+struct DeadlineWatch
+{
+    DeadlineMonitor *monitor = nullptr;
+    std::uint64_t handle = 0;
+
+    DeadlineWatch(DeadlineMonitor *m, CancelToken &token,
+                  std::uint64_t timeout_ms)
+    {
+        if (m != nullptr && timeout_ms > 0) {
+            monitor = m;
+            handle = m->watch(&token, timeout_ms);
+        }
+    }
+
+    ~DeadlineWatch()
+    {
+        if (monitor != nullptr)
+            monitor->unwatch(handle);
+    }
+
+    DeadlineWatch(const DeadlineWatch &) = delete;
+    DeadlineWatch &operator=(const DeadlineWatch &) = delete;
+};
+
+const char *
+fatalSignalName(int sig)
+{
+    switch (sig) {
+      case SIGSEGV: return "SIGSEGV";
+      case SIGABRT: return "SIGABRT";
+      case SIGBUS: return "SIGBUS";
+      case SIGFPE: return "SIGFPE";
+      case SIGKILL: return "SIGKILL";
+      case SIGILL: return "SIGILL";
+      default: return "signal";
+    }
+}
+
+bool
+fileExists(const std::string &path)
+{
+    return ::access(path.c_str(), R_OK) == 0;
+}
+
+void
+writeAllFd(int fd, const std::string &data)
+{
+    std::size_t done = 0;
+    while (done < data.size()) {
+        const ::ssize_t n =
+            ::write(fd, data.data() + done, data.size() - done);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR)
+                continue;
+            return; // reader gone; parent will see a short payload
+        }
+        done += static_cast<std::size_t>(n);
+    }
+}
+
+} // namespace
 
 unsigned
 sweepJobs()
@@ -27,14 +145,73 @@ sweepJobs()
     return static_cast<unsigned>(n);
 }
 
+const char *
+sweepStatusName(SweepStatus status)
+{
+    switch (status) {
+      case SweepStatus::Ok: return "Ok";
+      case SweepStatus::Failed: return "Failed";
+      case SweepStatus::TimedOut: return "TimedOut";
+      case SweepStatus::Crashed: return "Crashed";
+    }
+    return "Unknown";
+}
+
+SweepPolicy
+sweepPolicyFromEnv()
+{
+    SweepPolicy policy;
+    policy.timeoutMs = envU64("MASK_SWEEP_TIMEOUT_MS", 0);
+    policy.retries =
+        static_cast<unsigned>(envU64("MASK_SWEEP_RETRIES", 0));
+    policy.backoffMs = envU64("MASK_SWEEP_BACKOFF_MS", 100);
+    if (const char *iso = std::getenv("MASK_SWEEP_ISOLATE");
+        iso != nullptr && iso[0] == '1') {
+        policy.isolate = true;
+    }
+    if (const char *journal = std::getenv("MASK_SWEEP_JOURNAL");
+        journal != nullptr && journal[0] != '\0') {
+        policy.journalPath = journal;
+    }
+    return policy;
+}
+
+std::uint64_t
+sweepBackoffMs(const SweepPolicy &policy, unsigned attempt)
+{
+    constexpr std::uint64_t kCapMs = 5000;
+    if (policy.backoffMs == 0)
+        return 0;
+    if (attempt >= 16)
+        return kCapMs;
+    return std::min(kCapMs, policy.backoffMs << attempt);
+}
+
 SweepRunner::SweepRunner(RunOptions options)
     : SweepRunner(options, sweepJobs())
 {}
 
 SweepRunner::SweepRunner(RunOptions options, unsigned jobs)
     : options_(options), jobs_(jobs != 0 ? jobs : 1),
+      policy_(sweepPolicyFromEnv()),
       cache_(std::make_shared<AloneIpcCache>())
 {}
+
+SweepRunner::~SweepRunner() = default;
+
+void
+SweepRunner::setPolicy(SweepPolicy policy)
+{
+    policy_ = std::move(policy);
+    journal_.reset(); // re-bound (lazily) to the new path
+    monitor_.reset();
+}
+
+void
+SweepRunner::setExecutorForTest(Executor executor)
+{
+    executor_ = std::move(executor);
+}
 
 std::size_t
 SweepRunner::submit(SweepJob job)
@@ -48,14 +225,61 @@ SweepRunner::result(std::size_t index) const
 {
     SIM_CHECK(index < results_.size(), "sim.sweep", kUnknownCycle,
               "sweep result index out of range (run() not called?)");
+    const SweepOutcome &outcome = outcomes_[index];
+    if (outcome.status != SweepStatus::Ok) {
+        if (outcome.exception)
+            std::rethrow_exception(outcome.exception);
+        throw std::runtime_error(
+            "sweep job " + std::to_string(index) + " " +
+            sweepStatusName(outcome.status) + ": " + outcome.error);
+    }
     return results_[index];
 }
 
-namespace {
+const SweepOutcome &
+SweepRunner::outcome(std::size_t index) const
+{
+    SIM_CHECK(index < outcomes_.size(), "sim.sweep", kUnknownCycle,
+              "sweep outcome index out of range (run() not called?)");
+    return outcomes_[index];
+}
+
+std::size_t
+SweepRunner::failedJobs() const
+{
+    std::size_t failed = 0;
+    for (const SweepOutcome &outcome : outcomes_)
+        failed += outcome.status != SweepStatus::Ok;
+    return failed;
+}
+
+std::string
+SweepRunner::jobKey(const SweepJob &job) const
+{
+    // Everything that determines the job's result: the structural
+    // config fingerprint (covers seed, shares, hardening, ...), the
+    // design point, the bench list, the sweep mode, and the run
+    // windows.
+    std::string key = std::to_string(configFingerprint(job.arch));
+    key += '|';
+    key += designPointName(job.point);
+    for (const std::string &bench : job.benches) {
+        key += '|';
+        key += bench;
+    }
+    key += job.mode == SweepMode::SharedOnly ? "|shared" : "|metrics";
+    key += '|';
+    key += std::to_string(options_.warmup);
+    key += '|';
+    key += std::to_string(options_.measure);
+    return key;
+}
 
 PairResult
-executeJob(Evaluator &eval, const SweepJob &job)
+SweepRunner::execute(Evaluator &eval, const SweepJob &job)
 {
+    if (executor_)
+        return executor_(eval, job);
     PairResult result;
     if (job.mode == SweepMode::SharedOnly) {
         result.stats = eval.runShared(job.arch, job.point, job.benches);
@@ -66,84 +290,452 @@ executeJob(Evaluator &eval, const SweepJob &job)
     return result;
 }
 
-} // namespace
+void
+SweepRunner::finishJob(std::size_t index, const std::string &key,
+                       PairResult result, SweepOutcome outcome)
+{
+    if (journal_ != nullptr) {
+        // A journal write failure must not sink the job it records.
+        try {
+            journal_->record(
+                key, sweepStatusName(outcome.status),
+                outcome.attempts, outcome.error,
+                outcome.status == SweepStatus::Ok ? &result : nullptr);
+        } catch (const std::exception &err) {
+            std::fprintf(stderr,
+                         "[sweep] journal write failed: %s\n",
+                         err.what());
+        }
+    }
+    results_[index] = std::move(result);
+    outcomes_[index] = std::move(outcome);
+}
+
+SweepOutcome
+SweepRunner::attemptWithPolicy(Evaluator &eval, const SweepJob &job,
+                               std::size_t job_idx, PairResult &out)
+{
+    SweepOutcome outcome;
+    for (unsigned attempt = 0;; ++attempt) {
+        outcome.attempts = attempt + 1;
+        try {
+            CancelToken token;
+            const ScopedCancelToken scoped(&token);
+            const DeadlineWatch watch(monitor_.get(), token,
+                                      policy_.timeoutMs);
+            injectSweepTestFault(job_idx);
+            out = execute(eval, job);
+            outcome.status = SweepStatus::Ok;
+            outcome.error.clear();
+            outcome.exception = nullptr;
+            return outcome;
+        } catch (const SimCancelledError &err) {
+            outcome.status = SweepStatus::TimedOut;
+            outcome.error = err.what();
+            outcome.exception = nullptr;
+        } catch (const SimInvariantError &err) {
+            outcome.status = SweepStatus::Failed;
+            outcome.error = err.what();
+            outcome.exception = std::current_exception();
+            // captureCrash persisted the repro before rethrowing.
+            outcome.reproPath = reproFilePath();
+        } catch (const std::exception &err) {
+            outcome.status = SweepStatus::Failed;
+            outcome.error = err.what();
+            outcome.exception = std::current_exception();
+        } catch (...) {
+            outcome.status = SweepStatus::Failed;
+            outcome.error = "unknown exception";
+            outcome.exception = std::current_exception();
+        }
+        if (attempt >= policy_.retries)
+            return outcome;
+        const std::uint64_t delay = sweepBackoffMs(policy_, attempt);
+        if (delay > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(delay));
+        }
+    }
+}
+
+void
+SweepRunner::runOne(Evaluator &eval, std::size_t pend_idx,
+                    std::size_t base)
+{
+    const SweepJob &job = pending_[pend_idx];
+    PairResult result;
+    SweepOutcome outcome =
+        attemptWithPolicy(eval, job, base + pend_idx, result);
+    finishJob(base + pend_idx, jobKey(job), std::move(result),
+              std::move(outcome));
+}
 
 void
 SweepRunner::run()
 {
     if (pending_.empty())
         return;
+    const std::size_t base = results_.size();
+    const std::size_t batch = pending_.size();
+    results_.resize(base + batch);
+    outcomes_.resize(base + batch);
+
+    if (!policy_.journalPath.empty() && journal_ == nullptr)
+        journal_ = std::make_unique<SweepJournal>(policy_.journalPath);
+
+    // Journal pre-pass: jobs a previous run completed are loaded, not
+    // re-simulated. The decoded results are bit-exact, so bench
+    // output after a resume is byte-identical to an uninterrupted run.
+    std::vector<std::size_t> todo;
+    todo.reserve(batch);
+    std::size_t loaded = 0;
+    for (std::size_t i = 0; i < batch; ++i) {
+        if (journal_ != nullptr) {
+            PairResult result;
+            unsigned attempts = 1;
+            bool hit = false;
+            try {
+                hit = journal_->lookupOk(jobKey(pending_[i]), result,
+                                         attempts);
+            } catch (const std::exception &err) {
+                // A corrupt entry degrades to a re-simulation.
+                std::fprintf(stderr,
+                             "[sweep] journal entry unusable: %s\n",
+                             err.what());
+            }
+            if (hit) {
+                SweepOutcome outcome;
+                outcome.status = SweepStatus::Ok;
+                outcome.attempts = attempts;
+                outcome.fromJournal = true;
+                results_[base + i] = std::move(result);
+                outcomes_[base + i] = std::move(outcome);
+                ++loaded;
+                ++journalHits_;
+                continue;
+            }
+        }
+        todo.push_back(i);
+    }
+    if (journal_ != nullptr) {
+        std::fprintf(stderr,
+                     "[sweep] journal %s: loaded %zu/%zu jobs, "
+                     "simulating %zu\n",
+                     journal_->path().c_str(), loaded, batch,
+                     todo.size());
+    }
+
+    if (!todo.empty()) {
+        if (policy_.isolate) {
+            runIsolated(todo, base);
+        } else {
+            if (policy_.timeoutMs > 0 && monitor_ == nullptr)
+                monitor_ = std::make_unique<DeadlineMonitor>();
+            runBatch(todo, base);
+        }
+    }
+    pending_.clear();
+}
+
+void
+SweepRunner::runBatch(const std::vector<std::size_t> &todo,
+                      std::size_t base)
+{
     // Inline on the calling thread whenever a single worker would do
     // all the work anyway: a one-thread pool pays spawn/join and
     // atomic work-queue overhead for zero parallelism (visible as a
     // <1.0 "speedup" on single-CPU hosts).
     const std::size_t workers =
-        std::min<std::size_t>(jobs_, pending_.size());
-    if (workers <= 1)
-        runSerial();
-    else
-        runParallel();
-    pending_.clear();
-}
-
-void
-SweepRunner::runSerial()
-{
-    Evaluator eval(options_, cache_);
-    results_.reserve(results_.size() + pending_.size());
-    for (const SweepJob &job : pending_)
-        results_.push_back(executeJob(eval, job));
-}
-
-void
-SweepRunner::runParallel()
-{
-    const std::size_t base = results_.size();
-    const std::size_t batch = pending_.size();
-    results_.resize(base + batch);
-
-    const unsigned workers = static_cast<unsigned>(
-        std::min<std::size_t>(jobs_, batch));
+        std::min<std::size_t>(jobs_, todo.size());
+    if (workers <= 1) {
+        Evaluator eval(options_, cache_);
+        for (const std::size_t pend_idx : todo)
+            runOne(eval, pend_idx, base);
+        return;
+    }
 
     std::atomic<std::size_t> next{0};
-    std::mutex fail_mutex;
-    std::exception_ptr first_error;
-    std::size_t first_error_index = batch;
-
     auto worker = [&]() {
         // Workers share the alone-IPC memo but nothing else; each
-        // simulation is wholly thread-private.
+        // simulation is wholly thread-private, and every failure is
+        // absorbed into the job's outcome rather than thrown.
         Evaluator eval(options_, cache_);
         for (;;) {
-            const std::size_t i =
+            const std::size_t n =
                 next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= batch)
+            if (n >= todo.size())
                 return;
-            try {
-                results_[base + i] = executeJob(eval, pending_[i]);
-            } catch (...) {
-                // Keep the failure of the lowest-indexed job so the
-                // surfaced error matches what a serial run would hit
-                // first; later jobs keep running (their results are
-                // discarded by the rethrow below).
-                const std::lock_guard<std::mutex> lock(fail_mutex);
-                if (i < first_error_index) {
-                    first_error_index = i;
-                    first_error = std::current_exception();
-                }
-            }
+            runOne(eval, todo[n], base);
         }
     };
 
     std::vector<std::thread> pool;
     pool.reserve(workers);
-    for (unsigned w = 0; w < workers; ++w)
+    for (std::size_t w = 0; w < workers; ++w)
         pool.emplace_back(worker);
     for (std::thread &t : pool)
         t.join();
+}
 
-    if (first_error)
-        std::rethrow_exception(first_error);
+// ---------------------------------------------------------------------
+// Subprocess isolation (MASK_SWEEP_ISOLATE=1)
+// ---------------------------------------------------------------------
+
+void
+SweepRunner::runIsolated(const std::vector<std::size_t> &todo,
+                         std::size_t base)
+{
+    using Clock = std::chrono::steady_clock;
+
+    // One forked child per job, up to jobs_ concurrent; the parent
+    // stays single-threaded (fork from a multi-threaded process risks
+    // inheriting a held allocator lock) and enforces deadlines with
+    // SIGKILL, which reclaims even a hard-hung child. Children report
+    // over a pipe: "ok <blob>" or "err <what>"; a fatal signal leaves
+    // no payload and is classified from the wait status.
+    struct Child
+    {
+        pid_t pid = -1;
+        int fd = -1;
+        std::size_t pendIdx = 0;
+        unsigned attempt = 0;
+        Clock::time_point deadline;
+        bool hasDeadline = false;
+        bool timedOut = false;
+        std::string buf;
+        std::string reproPath;
+    };
+    struct Ready
+    {
+        std::size_t pendIdx = 0;
+        unsigned attempt = 0;
+        Clock::time_point notBefore;
+    };
+
+    std::vector<Ready> ready;
+    ready.reserve(todo.size());
+    const auto start = Clock::now();
+    for (const std::size_t pend_idx : todo)
+        ready.push_back(Ready{pend_idx, 0, start});
+    std::vector<Child> live;
+    const std::size_t width = jobs_ != 0 ? jobs_ : 1;
+
+    auto startChild = [&](const Ready &r) {
+        const SweepJob &job = pending_[r.pendIdx];
+        const std::size_t job_idx = base + r.pendIdx;
+        Child child;
+        child.pendIdx = r.pendIdx;
+        child.attempt = r.attempt;
+        child.reproPath =
+            reproFilePath() + ".job" + std::to_string(job_idx);
+        ::unlink(child.reproPath.c_str());
+
+        int fds[2];
+        if (::pipe(fds) != 0)
+            throw std::runtime_error(
+                "sweep isolation: pipe() failed");
+        std::fflush(stdout);
+        std::fflush(stderr);
+        const pid_t pid = ::fork();
+        if (pid < 0) {
+            ::close(fds[0]);
+            ::close(fds[1]);
+            throw std::runtime_error(
+                "sweep isolation: fork() failed");
+        }
+        if (pid == 0) {
+            // --- child ---
+            ::close(fds[0]);
+            // Redirect this job's crash-repro (both the invariant
+            // path and the fatal-signal path honor the env) to a
+            // per-job file the parent can harvest.
+            ::setenv(kReproFileEnv, child.reproPath.c_str(), 1);
+            int code = 0;
+            std::string payload;
+            try {
+                // Job-level arm: a hard crash anywhere in the child
+                // (even outside an evaluator run) leaves a repro.
+                const ScopedSignalRepro armed(
+                    makeRepro(job.arch, job.point, job.benches,
+                              options_.warmup, options_.measure),
+                    child.reproPath);
+                injectSweepTestFault(job_idx);
+                Evaluator eval(options_, cache_);
+                payload = "ok " + encodePairResult(execute(eval, job));
+            } catch (const std::exception &err) {
+                payload = std::string("err ") + err.what();
+                code = 3;
+            } catch (...) {
+                payload = "err unknown exception";
+                code = 3;
+            }
+            writeAllFd(fds[1], payload);
+            ::close(fds[1]);
+            std::_Exit(code);
+        }
+        // --- parent ---
+        ::close(fds[1]);
+        ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
+        child.pid = pid;
+        child.fd = fds[0];
+        if (policy_.timeoutMs > 0) {
+            child.hasDeadline = true;
+            child.deadline =
+                Clock::now() +
+                std::chrono::milliseconds(policy_.timeoutMs);
+        }
+        live.push_back(std::move(child));
+    };
+
+    auto reap = [&](Child &child) {
+        int status = 0;
+        while (::waitpid(child.pid, &status, 0) < 0 &&
+               errno == EINTR) {
+        }
+        ::close(child.fd);
+
+        const SweepJob &job = pending_[child.pendIdx];
+        const std::size_t index = base + child.pendIdx;
+        SweepOutcome outcome;
+        outcome.attempts = child.attempt + 1;
+        PairResult result;
+
+        if (child.timedOut) {
+            outcome.status = SweepStatus::TimedOut;
+            outcome.error =
+                "deadline exceeded (MASK_SWEEP_TIMEOUT_MS=" +
+                std::to_string(policy_.timeoutMs) +
+                "), child killed";
+        } else if (WIFSIGNALED(status)) {
+            const int sig = WTERMSIG(status);
+            outcome.status = SweepStatus::Crashed;
+            outcome.error = std::string("child killed by ") +
+                            fatalSignalName(sig) + " (signal " +
+                            std::to_string(sig) + ")";
+        } else if (child.buf.rfind("ok ", 0) == 0) {
+            try {
+                result = decodePairResult(child.buf.substr(3));
+                outcome.status = SweepStatus::Ok;
+            } catch (const std::exception &err) {
+                outcome.status = SweepStatus::Failed;
+                outcome.error =
+                    std::string("isolation protocol: ") + err.what();
+            }
+        } else if (child.buf.rfind("err ", 0) == 0) {
+            outcome.status = SweepStatus::Failed;
+            outcome.error = child.buf.substr(4);
+        } else {
+            outcome.status = SweepStatus::Failed;
+            outcome.error =
+                "isolation protocol: child exited " +
+                std::to_string(WIFEXITED(status)
+                                   ? WEXITSTATUS(status)
+                                   : -1) +
+                " with no payload";
+        }
+        if (outcome.status != SweepStatus::Ok &&
+            fileExists(child.reproPath)) {
+            outcome.reproPath = child.reproPath;
+        }
+
+        if (outcome.status != SweepStatus::Ok &&
+            child.attempt < policy_.retries) {
+            ready.push_back(Ready{
+                child.pendIdx, child.attempt + 1,
+                Clock::now() +
+                    std::chrono::milliseconds(
+                        sweepBackoffMs(policy_, child.attempt))});
+            return;
+        }
+        finishJob(index, jobKey(job), std::move(result),
+                  std::move(outcome));
+    };
+
+    while (!ready.empty() || !live.empty()) {
+        const auto now = Clock::now();
+
+        // Launch eligible jobs into free slots.
+        for (std::size_t i = 0;
+             i < ready.size() && live.size() < width;) {
+            if (ready[i].notBefore <= now) {
+                startChild(ready[i]);
+                ready.erase(ready.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+            } else {
+                ++i;
+            }
+        }
+
+        // Kill children past their deadline; their pipe EOF follows.
+        for (Child &child : live) {
+            if (child.hasDeadline && !child.timedOut &&
+                child.deadline <= now) {
+                ::kill(child.pid, SIGKILL);
+                child.timedOut = true;
+            }
+        }
+
+        if (live.empty()) {
+            // Only backoff waits remain: sleep to the next expiry.
+            auto next_ready = ready.front().notBefore;
+            for (const Ready &r : ready)
+                next_ready = std::min(next_ready, r.notBefore);
+            if (next_ready > now)
+                std::this_thread::sleep_until(next_ready);
+            continue;
+        }
+
+        // Sleep until data, a deadline, or a backoff expiry.
+        auto wake = now + std::chrono::milliseconds(200);
+        for (const Child &child : live) {
+            if (child.hasDeadline && !child.timedOut)
+                wake = std::min(wake, child.deadline);
+        }
+        for (const Ready &r : ready)
+            wake = std::min(wake, r.notBefore);
+        const auto wait_ms =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                wake - now)
+                .count();
+
+        std::vector<struct pollfd> fds(live.size());
+        for (std::size_t i = 0; i < live.size(); ++i)
+            fds[i] = {live[i].fd, POLLIN, 0};
+        ::poll(fds.data(), fds.size(),
+               static_cast<int>(std::max<long long>(1, wait_ms)));
+
+        // Drain readable pipes; EOF means the child is done.
+        for (std::size_t i = 0; i < live.size();) {
+            Child &child = live[i];
+            bool done = false;
+            if (fds[i].revents != 0) {
+                char buf[4096];
+                for (;;) {
+                    const ::ssize_t n =
+                        ::read(child.fd, buf, sizeof(buf));
+                    if (n > 0) {
+                        child.buf.append(
+                            buf, static_cast<std::size_t>(n));
+                        continue;
+                    }
+                    if (n == 0)
+                        done = true; // EOF
+                    else if (errno == EINTR)
+                        continue;
+                    break; // EAGAIN or EOF
+                }
+            }
+            if (done) {
+                reap(child);
+                fds.erase(fds.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+                live.erase(live.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+            } else {
+                ++i;
+            }
+        }
+    }
 }
 
 } // namespace mask

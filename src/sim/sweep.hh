@@ -1,6 +1,6 @@
 /**
  * @file
- * Parallel workload-sweep engine.
+ * Parallel workload-sweep engine with fault-tolerant execution.
  *
  * Every figure/table bench walks the same shape of loop: for each
  * (workload pair, design point), build a GPU and simulate it. The runs
@@ -10,30 +10,58 @@
  * submission order, so bench output is byte-identical to a serial run
  * regardless of worker count or completion order.
  *
+ * A sweep survives any single job's failure (DESIGN.md §10): each job
+ * finishes with a structured SweepOutcome instead of sinking the
+ * fleet. Per-job wall-clock deadlines cancel stuck simulations
+ * (TimedOut), transient failures retry with capped exponential
+ * backoff, an opt-in fork-per-job isolation mode contains hard
+ * crashes (Crashed, with the child's crash-repro file harvested), and
+ * a JSONL journal lets an interrupted sweep resume with completed
+ * jobs loaded instead of re-simulated. Surviving jobs' results stay
+ * byte-identical to a fault-free serial run.
+ *
  * Usage is two-phase:
  *
  *     SweepRunner sweep(options);
  *     std::vector<std::size_t> ids;
  *     for (...) ids.push_back(sweep.submit({arch, point, pair}));
- *     sweep.run();
- *     for (...) use(sweep.result(ids[...]));
+ *     sweep.run();    // never throws for per-job failures
+ *     for (...) {
+ *         if (sweep.outcome(ids[i]).status == SweepStatus::Ok)
+ *             use(sweep.result(ids[i]));
+ *         else
+ *             report(sweep.outcome(ids[i]));
+ *     }
  *
  * The job count comes from MASK_BENCH_JOBS (default 1 = serial;
- * 0 = one per hardware thread).
+ * 0 = one per hardware thread). Resilience knobs, all env-driven:
+ *
+ *   MASK_SWEEP_TIMEOUT_MS=<ms>  per-attempt wall-clock deadline
+ *                               (0 = none, the default)
+ *   MASK_SWEEP_RETRIES=<n>      extra attempts per failed job
+ *   MASK_SWEEP_BACKOFF_MS=<ms>  retry backoff base (doubles per
+ *                               attempt, capped; default 100)
+ *   MASK_SWEEP_ISOLATE=1        fork/exec-style subprocess per job
+ *   MASK_SWEEP_JOURNAL=<path>   JSONL results journal for resume
  */
 
 #ifndef MASK_SIM_SWEEP_HH
 #define MASK_SIM_SWEEP_HH
 
 #include <cstddef>
+#include <exception>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/config.hh"
 #include "sim/runner.hh"
+#include "sim/watchdog.hh"
 
 namespace mask {
+
+class SweepJournal;
 
 /**
  * Worker count from MASK_BENCH_JOBS: unset or 1 means serial, 0 means
@@ -56,6 +84,46 @@ struct SweepJob
     SweepMode mode = SweepMode::Metrics;
 };
 
+/** How one sweep job ended. */
+enum class SweepStatus : std::uint8_t {
+    Ok,       //!< completed; result() is valid
+    Failed,   //!< threw (ConfigError, SimInvariantError, ...)
+    TimedOut, //!< exceeded MASK_SWEEP_TIMEOUT_MS and was cancelled
+    Crashed,  //!< isolated subprocess died on a fatal signal
+};
+
+/** "Ok" / "Failed" / "TimedOut" / "Crashed". */
+const char *sweepStatusName(SweepStatus status);
+
+/** Structured per-job outcome (valid after run() returns). */
+struct SweepOutcome
+{
+    SweepStatus status = SweepStatus::Ok;
+    unsigned attempts = 0;      //!< total attempts, retries included
+    std::string error;          //!< failure text ("" when Ok)
+    std::string reproPath;      //!< harvested crash-repro file, if any
+    bool fromJournal = false;   //!< loaded from MASK_SWEEP_JOURNAL
+    std::exception_ptr exception; //!< original exception (Failed only)
+};
+
+/** Resilience policy (env-driven by default; settable for tests). */
+struct SweepPolicy
+{
+    std::uint64_t timeoutMs = 0;  //!< 0 disables deadlines
+    unsigned retries = 0;         //!< extra attempts after a failure
+    std::uint64_t backoffMs = 100; //!< retry backoff base
+    bool isolate = false;         //!< fork one subprocess per job
+    std::string journalPath;      //!< "" disables the journal
+};
+
+/** Policy from the MASK_SWEEP_* environment knobs. */
+SweepPolicy sweepPolicyFromEnv();
+
+/** Backoff before retry @p attempt (0-based): base << attempt,
+ *  capped at 5 seconds. */
+std::uint64_t sweepBackoffMs(const SweepPolicy &policy,
+                             unsigned attempt);
+
 /** Thread-pool executor for batches of independent SweepJobs. */
 class SweepRunner
 {
@@ -63,37 +131,84 @@ class SweepRunner
     /** @p jobs worker threads (defaults to sweepJobs()). */
     explicit SweepRunner(RunOptions options);
     SweepRunner(RunOptions options, unsigned jobs);
+    ~SweepRunner();
 
-    /** Queue a job; returns its index for result(). */
+    /** Queue a job; returns its index for result()/outcome(). */
     std::size_t submit(SweepJob job);
 
     /**
      * Run all jobs submitted since the last run() and block until
-     * they finish. If any job throws, the exception of the
-     * lowest-indexed failing job is rethrown after all workers stop.
-     * The runner is reusable: submit/run again after it returns, with
+     * they finish. A job's failure never aborts the batch: it is
+     * recorded in outcome() (after deadline/retry/isolation handling
+     * per the policy) while every other job keeps running. Only
+     * infrastructure errors (journal I/O, fork failure) throw. The
+     * runner is reusable: submit/run again after it returns, with
      * the alone-IPC memo carried across batches.
      */
     void run();
 
-    /** Result of job @p index (valid after run() returns). */
+    /**
+     * Result of job @p index. For a job that did not complete, the
+     * original exception is rethrown (Failed) or a
+     * std::runtime_error with the outcome's reason is thrown
+     * (TimedOut/Crashed) — check outcome() first to degrade
+     * gracefully.
+     */
     const PairResult &result(std::size_t index) const;
+
+    /** Outcome of job @p index (valid after run() returns). */
+    const SweepOutcome &outcome(std::size_t index) const;
+
+    /** Jobs completed over the runner's lifetime (all batches). */
+    std::size_t completedJobs() const { return results_.size(); }
+
+    /** Jobs whose outcome is not Ok, over all batches. */
+    std::size_t failedJobs() const;
+
+    /** Jobs loaded from the journal instead of simulated. */
+    std::size_t journalHits() const { return journalHits_; }
 
     unsigned jobs() const { return jobs_; }
     const RunOptions &options() const { return options_; }
+    const SweepPolicy &policy() const { return policy_; }
+
+    /** Override the env policy (tests); resets the journal binding. */
+    void setPolicy(SweepPolicy policy);
+
+    /** Replace the job executor (tests: inject failures/hangs). */
+    using Executor =
+        std::function<PairResult(Evaluator &, const SweepJob &)>;
+    void setExecutorForTest(Executor executor);
 
     /** Distinct alone runs memoized so far (shared across workers). */
     std::size_t aloneCacheSize() const { return cache_->size(); }
 
   private:
-    void runSerial();
-    void runParallel();
+    void runBatch(const std::vector<std::size_t> &todo,
+                  std::size_t base);
+    void runIsolated(const std::vector<std::size_t> &todo,
+                     std::size_t base);
+    void runOne(Evaluator &eval, std::size_t pend_idx,
+                std::size_t base);
+    SweepOutcome attemptWithPolicy(Evaluator &eval, const SweepJob &job,
+                                   std::size_t job_idx,
+                                   PairResult &out);
+    PairResult execute(Evaluator &eval, const SweepJob &job);
+    void finishJob(std::size_t index, const std::string &key,
+                   PairResult result, SweepOutcome outcome);
+    std::string jobKey(const SweepJob &job) const;
 
     RunOptions options_;
     unsigned jobs_;
+    SweepPolicy policy_;
     std::shared_ptr<AloneIpcCache> cache_;
     std::vector<SweepJob> pending_;
     std::vector<PairResult> results_;
+    std::vector<SweepOutcome> outcomes_;
+    std::unique_ptr<SweepJournal> journal_;
+    std::unique_ptr<DeadlineMonitor> monitor_;
+    std::size_t journalHits_ = 0;
+    Executor executor_;
 };
 
 } // namespace mask

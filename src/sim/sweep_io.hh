@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Exact serialization for sweep results, and the resumable results
+ * journal.
+ *
+ * Both fault-tolerance transports need a PairResult to survive a trip
+ * through bytes without perturbing a single bit: the subprocess
+ * isolation mode pipes results from a forked child back to the
+ * parent, and the JSONL journal replays completed jobs into a resumed
+ * sweep whose bench output must stay byte-identical to an
+ * uninterrupted run. Doubles are therefore encoded as C99 hex floats
+ * ("%a"), which round-trip exactly; integers as decimal.
+ *
+ * The encoding is a versioned, space-separated token stream ("v1
+ * ..."). It must cover every field of PairResult/GpuStats — when a
+ * stat is added to GpuStats, extend encode/decode here and bump the
+ * version, or journal-resumed benches will silently print zeros for
+ * the new stat.
+ *
+ * Journal format (one JSON object per line, append-only):
+ *
+ *   {"key":"<job key>","status":"Ok","attempts":1,"error":"",
+ *    "result":"v1 ..."}
+ *
+ * The key fingerprints everything that determines a job's result:
+ * config fingerprint, design point, bench list, sweep mode, and run
+ * windows. On load, the latest "Ok" entry per key wins; failed
+ * entries are kept for the record but are never resumed from, so a
+ * re-run re-simulates exactly the jobs that did not complete.
+ */
+
+#ifndef MASK_SIM_SWEEP_IO_HH
+#define MASK_SIM_SWEEP_IO_HH
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "sim/runner.hh"
+
+namespace mask {
+
+/** Encode @p result as a single-line token stream (exact). */
+std::string encodePairResult(const PairResult &result);
+
+/** Inverse of encodePairResult (throws std::runtime_error). */
+PairResult decodePairResult(const std::string &blob);
+
+/** Minimal JSON string escaping for journal fields. */
+std::string jsonEscape(const std::string &raw);
+
+/**
+ * Extract and unescape the string value of @p field from a
+ * single-line JSON object written by this module. Returns false when
+ * the field is absent or the line is malformed.
+ */
+bool jsonField(const std::string &line, const std::string &field,
+               std::string &out);
+
+/**
+ * Append-only JSONL journal of per-job sweep outcomes, keyed by job
+ * fingerprint. Thread-safe; every record is flushed as it lands so a
+ * killed process loses at most the in-flight line.
+ */
+class SweepJournal
+{
+  public:
+    /** Open @p path, loading any entries a previous run left. */
+    explicit SweepJournal(std::string path);
+
+    /**
+     * Completed result for @p key from a previous run, if any.
+     * Returns true and fills @p result / @p attempts on a hit.
+     */
+    bool lookupOk(const std::string &key, PairResult &result,
+                  unsigned &attempts) const;
+
+    /**
+     * Append one outcome. @p result must be non-null when @p status
+     * is "Ok". Malformed I/O throws std::runtime_error.
+     */
+    void record(const std::string &key, const char *status,
+                unsigned attempts, const std::string &error,
+                const PairResult *result);
+
+    /** Distinct keys with a completed result loaded or recorded. */
+    std::size_t okEntries() const;
+
+    const std::string &path() const { return path_; }
+
+  private:
+    struct OkEntry
+    {
+        unsigned attempts = 1;
+        std::string blob;
+    };
+
+    std::string path_;
+    mutable std::mutex mutex_;
+    std::map<std::string, OkEntry> ok_;
+};
+
+} // namespace mask
+
+#endif // MASK_SIM_SWEEP_IO_HH

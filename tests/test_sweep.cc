@@ -1,20 +1,32 @@
 /**
  * Tests for the parallel workload-sweep engine: parallel results must
  * be identical to serial ones, the shared alone-IPC memo must dedup
- * across workers, and the memo key must distinguish configurations
- * that share a name (the fingerprint regression).
+ * across workers, the memo key must distinguish configurations that
+ * share a name (the fingerprint regression), and the fault-tolerance
+ * layer must contain failures (outcomes, retries, deadlines,
+ * subprocess isolation, journal resume) without perturbing the
+ * surviving jobs' results by a single bit.
  */
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdio>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include "common/config.hh"
+#include "sim/cancel.hh"
+#include "sim/crash_repro.hh"
 #include "sim/presets.hh"
 #include "sim/runner.hh"
 #include "sim/sweep.hh"
+#include "sim/sweep_io.hh"
 
 using namespace mask;
 
@@ -41,6 +53,30 @@ sampleJobs()
         jobs.push_back({arch, point, {"3DS", "RED"}});
     }
     return jobs;
+}
+
+/** Unique-ish temp path under the build dir (no clock/random: gtest
+ *  runs each test in its own ctest process, so the PID suffices). */
+std::string
+tempPath(const std::string &tag)
+{
+    return "sweep_test_" + tag + "_" + std::to_string(::getpid()) +
+           ".tmp";
+}
+
+/** Synthetic distinguishable result for executor-driven tests. */
+PairResult
+syntheticResult(double ipc)
+{
+    PairResult result;
+    result.sharedIpc = {ipc, ipc / 2};
+    result.aloneIpc = {ipc * 2, ipc};
+    result.weightedSpeedup = 1.5;
+    result.unfairness = 2.0;
+    result.ipcThroughput = ipc * 1.5;
+    result.stats.cycles = 1234;
+    result.stats.ipc = result.sharedIpc;
+    return result;
 }
 
 } // namespace
@@ -130,17 +166,381 @@ TEST(Sweep, ResultIndicesFollowSubmissionOrder)
     EXPECT_EQ(sweep.result(a).stats.ipc[0], histo.ipc[0]);
 }
 
-TEST(Sweep, WorkerExceptionPropagates)
+TEST(Sweep, WorkerFailureIsIsolatedToItsJob)
 {
+    // One broken job must not sink the batch: run() records a Failed
+    // outcome for it, result() rethrows the original exception, and
+    // every other job's result is bit-identical to a clean run.
     SweepRunner sweep(shortOptions(), 2);
     const GpuConfig arch = archByName("maxwell");
     GpuConfig broken = arch;
     broken.l2Tlb.entries = 0; // rejected by validateConfig
+    const std::size_t good = sweep.submit(
+        {arch, DesignPoint::SharedTlb, {"HISTO"},
+         SweepMode::SharedOnly});
+    const std::size_t bad = sweep.submit(
+        {broken, DesignPoint::SharedTlb, {"LPS"},
+         SweepMode::SharedOnly});
+    EXPECT_NO_THROW(sweep.run());
+
+    EXPECT_EQ(sweep.outcome(good).status, SweepStatus::Ok);
+    EXPECT_EQ(sweep.outcome(bad).status, SweepStatus::Failed);
+    EXPECT_EQ(sweep.outcome(bad).attempts, 1u);
+    EXPECT_FALSE(sweep.outcome(bad).error.empty());
+    EXPECT_EQ(sweep.failedJobs(), 1u);
+    EXPECT_THROW(sweep.result(bad), ConfigError);
+
+    SweepRunner clean(shortOptions(), 1);
+    clean.submit({arch, DesignPoint::SharedTlb, {"HISTO"},
+                  SweepMode::SharedOnly});
+    clean.run();
+    EXPECT_EQ(encodePairResult(sweep.result(good)),
+              encodePairResult(clean.result(0)));
+}
+
+TEST(Sweep, AloneMemoSurvivesFailedBatch)
+{
+    // A failure in one job of a batch must leave the shared alone-IPC
+    // memo usable: the good job's alone runs land in the memo and a
+    // follow-up batch reuses them.
+    SweepRunner sweep(shortOptions(), 2);
+    const GpuConfig arch = archByName("maxwell");
+    GpuConfig broken = arch;
+    broken.l2Tlb.entries = 0;
+    const std::size_t good =
+        sweep.submit({arch, DesignPoint::SharedTlb, {"HISTO", "LPS"}});
+    sweep.submit({broken, DesignPoint::SharedTlb, {"3DS", "RED"}});
+    sweep.run();
+    EXPECT_EQ(sweep.outcome(good).status, SweepStatus::Ok);
+    EXPECT_EQ(sweep.aloneCacheSize(), 2u);
+
+    const std::size_t again =
+        sweep.submit({arch, DesignPoint::SharedTlb, {"HISTO", "LPS"}});
+    sweep.run();
+    EXPECT_EQ(sweep.outcome(again).status, SweepStatus::Ok);
+    EXPECT_EQ(sweep.aloneCacheSize(), 2u); // memo hit, no new runs
+    EXPECT_EQ(encodePairResult(sweep.result(good)),
+              encodePairResult(sweep.result(again)));
+}
+
+TEST(Sweep, RetryRecoversFromTransientFailure)
+{
+    SweepRunner sweep(shortOptions(), 1);
+    SweepPolicy policy;
+    policy.retries = 3;
+    policy.backoffMs = 1;
+    sweep.setPolicy(policy);
+
+    int calls = 0;
+    sweep.setExecutorForTest([&](Evaluator &, const SweepJob &) {
+        if (++calls < 3)
+            throw std::runtime_error("transient fault");
+        return syntheticResult(1.0);
+    });
+    const GpuConfig arch = archByName("maxwell");
     sweep.submit({arch, DesignPoint::SharedTlb, {"HISTO"},
                   SweepMode::SharedOnly});
-    sweep.submit({broken, DesignPoint::SharedTlb, {"LPS"},
+    sweep.run();
+    EXPECT_EQ(sweep.outcome(0).status, SweepStatus::Ok);
+    EXPECT_EQ(sweep.outcome(0).attempts, 3u);
+    EXPECT_EQ(calls, 3);
+    EXPECT_EQ(sweep.result(0).sharedIpc[0], 1.0);
+}
+
+TEST(Sweep, RetriesExhaustedReportsFailure)
+{
+    SweepRunner sweep(shortOptions(), 1);
+    SweepPolicy policy;
+    policy.retries = 2;
+    policy.backoffMs = 1;
+    sweep.setPolicy(policy);
+
+    int calls = 0;
+    sweep.setExecutorForTest(
+        [&](Evaluator &, const SweepJob &) -> PairResult {
+            ++calls;
+            throw std::runtime_error("permanent fault");
+        });
+    const GpuConfig arch = archByName("maxwell");
+    sweep.submit({arch, DesignPoint::SharedTlb, {"HISTO"},
                   SweepMode::SharedOnly});
-    EXPECT_THROW(sweep.run(), ConfigError);
+    sweep.run();
+    EXPECT_EQ(sweep.outcome(0).status, SweepStatus::Failed);
+    EXPECT_EQ(sweep.outcome(0).attempts, 3u); // 1 try + 2 retries
+    EXPECT_EQ(calls, 3);
+    EXPECT_EQ(sweep.outcome(0).error, "permanent fault");
+    EXPECT_THROW(sweep.result(0), std::runtime_error);
+}
+
+TEST(Sweep, DeadlineCancelsStuckJob)
+{
+    SweepRunner sweep(shortOptions(), 1);
+    SweepPolicy policy;
+    policy.timeoutMs = 100;
+    sweep.setPolicy(policy);
+
+    sweep.setExecutorForTest(
+        [](Evaluator &, const SweepJob &) -> PairResult {
+            for (;;) { // a stuck simulation, cooperatively cancellable
+                pollCancellation();
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+            }
+        });
+    const GpuConfig arch = archByName("maxwell");
+    sweep.submit({arch, DesignPoint::SharedTlb, {"HISTO"},
+                  SweepMode::SharedOnly});
+    sweep.run();
+    EXPECT_EQ(sweep.outcome(0).status, SweepStatus::TimedOut);
+    EXPECT_NE(sweep.outcome(0).error.find("MASK_SWEEP_TIMEOUT_MS"),
+              std::string::npos);
+    EXPECT_THROW(sweep.result(0), std::runtime_error);
+}
+
+TEST(Sweep, JournalResumeSkipsCompletedJobs)
+{
+    const std::string journal = tempPath("journal");
+    std::remove(journal.c_str());
+    const GpuConfig arch = archByName("maxwell");
+
+    SweepPolicy policy;
+    policy.journalPath = journal;
+
+    SweepRunner first(shortOptions(), 1);
+    first.setPolicy(policy);
+    first.submit({arch, DesignPoint::SharedTlb, {"HISTO"},
+                  SweepMode::SharedOnly});
+    first.submit({arch, DesignPoint::SharedTlb, {"LPS"},
+                  SweepMode::SharedOnly});
+    first.run();
+    EXPECT_EQ(first.journalHits(), 0u);
+    ASSERT_EQ(first.failedJobs(), 0u);
+
+    // A resumed runner loads both results instead of simulating; if it
+    // did simulate, the poisoned executor would throw.
+    SweepRunner resumed(shortOptions(), 1);
+    resumed.setPolicy(policy);
+    resumed.setExecutorForTest(
+        [](Evaluator &, const SweepJob &) -> PairResult {
+            throw std::runtime_error("resume should not re-simulate");
+        });
+    resumed.submit({arch, DesignPoint::SharedTlb, {"HISTO"},
+                    SweepMode::SharedOnly});
+    resumed.submit({arch, DesignPoint::SharedTlb, {"LPS"},
+                    SweepMode::SharedOnly});
+    resumed.run();
+    EXPECT_EQ(resumed.journalHits(), 2u);
+    for (std::size_t i = 0; i < 2; ++i) {
+        EXPECT_EQ(resumed.outcome(i).status, SweepStatus::Ok);
+        EXPECT_TRUE(resumed.outcome(i).fromJournal);
+        EXPECT_EQ(encodePairResult(resumed.result(i)),
+                  encodePairResult(first.result(i)));
+    }
+    std::remove(journal.c_str());
+}
+
+TEST(Sweep, JournalResumeResimulatesOnlyFailedJobs)
+{
+    const std::string journal = tempPath("journal_fail");
+    std::remove(journal.c_str());
+    const GpuConfig arch = archByName("maxwell");
+
+    SweepPolicy policy;
+    policy.journalPath = journal;
+
+    SweepRunner first(shortOptions(), 1);
+    first.setPolicy(policy);
+    first.setExecutorForTest(
+        [](Evaluator &, const SweepJob &job) -> PairResult {
+            if (job.benches[0] == "LPS")
+                throw std::runtime_error("injected failure");
+            return syntheticResult(2.0);
+        });
+    first.submit({arch, DesignPoint::SharedTlb, {"HISTO"},
+                  SweepMode::SharedOnly});
+    first.submit({arch, DesignPoint::SharedTlb, {"LPS"},
+                  SweepMode::SharedOnly});
+    first.run();
+    EXPECT_EQ(first.outcome(1).status, SweepStatus::Failed);
+
+    // The resume loads the Ok job and re-simulates only the failure.
+    int simulated = 0;
+    SweepRunner resumed(shortOptions(), 1);
+    resumed.setPolicy(policy);
+    resumed.setExecutorForTest(
+        [&](Evaluator &, const SweepJob &) {
+            ++simulated;
+            return syntheticResult(3.0);
+        });
+    resumed.submit({arch, DesignPoint::SharedTlb, {"HISTO"},
+                    SweepMode::SharedOnly});
+    resumed.submit({arch, DesignPoint::SharedTlb, {"LPS"},
+                    SweepMode::SharedOnly});
+    resumed.run();
+    EXPECT_EQ(simulated, 1);
+    EXPECT_TRUE(resumed.outcome(0).fromJournal);
+    EXPECT_FALSE(resumed.outcome(1).fromJournal);
+    EXPECT_EQ(resumed.outcome(1).status, SweepStatus::Ok);
+    EXPECT_EQ(resumed.result(0).sharedIpc[0], 2.0);
+    EXPECT_EQ(resumed.result(1).sharedIpc[0], 3.0);
+    std::remove(journal.c_str());
+}
+
+TEST(Sweep, IsolatedModeMatchesInProcessBitExactly)
+{
+    const GpuConfig arch = archByName("maxwell");
+
+    SweepRunner inproc(shortOptions(), 1);
+    inproc.submit({arch, DesignPoint::SharedTlb, {"HISTO"},
+                   SweepMode::SharedOnly});
+    inproc.submit({arch, DesignPoint::Mask, {"HISTO", "LPS"}});
+    inproc.run();
+
+    SweepRunner isolated(shortOptions(), 1);
+    SweepPolicy policy;
+    policy.isolate = true;
+    isolated.setPolicy(policy);
+    isolated.submit({arch, DesignPoint::SharedTlb, {"HISTO"},
+                     SweepMode::SharedOnly});
+    isolated.submit({arch, DesignPoint::Mask, {"HISTO", "LPS"}});
+    isolated.run();
+
+    for (std::size_t i = 0; i < 2; ++i) {
+        ASSERT_EQ(isolated.outcome(i).status, SweepStatus::Ok)
+            << isolated.outcome(i).error;
+        EXPECT_EQ(encodePairResult(isolated.result(i)),
+                  encodePairResult(inproc.result(i)));
+    }
+}
+
+TEST(Sweep, IsolatedCrashIsContainedAndLeavesRepro)
+{
+    // MASK_SWEEP_FAULT_CRASH segfaults job 1 inside the forked child;
+    // the parent must classify it, harvest the child's signal-repro
+    // file, and finish job 0 untouched.
+    setenv("MASK_SWEEP_FAULT_CRASH", "1", 1);
+    SweepRunner sweep(shortOptions(), 1);
+    SweepPolicy policy;
+    policy.isolate = true;
+    sweep.setPolicy(policy);
+    const GpuConfig arch = archByName("maxwell");
+    sweep.submit({arch, DesignPoint::SharedTlb, {"HISTO"},
+                  SweepMode::SharedOnly});
+    sweep.submit({arch, DesignPoint::SharedTlb, {"LPS"},
+                  SweepMode::SharedOnly});
+    sweep.run();
+    unsetenv("MASK_SWEEP_FAULT_CRASH");
+
+    EXPECT_EQ(sweep.outcome(0).status, SweepStatus::Ok);
+    ASSERT_EQ(sweep.outcome(1).status, SweepStatus::Crashed);
+    EXPECT_NE(sweep.outcome(1).error.find("SIGSEGV"),
+              std::string::npos)
+        << sweep.outcome(1).error;
+
+    // The harvested repro replays the job's exact configuration.
+    ASSERT_FALSE(sweep.outcome(1).reproPath.empty());
+    const CrashRepro repro = loadRepro(sweep.outcome(1).reproPath);
+    EXPECT_EQ(repro.module, "fatal-signal");
+    EXPECT_NE(repro.detail.find("SIGSEGV"), std::string::npos);
+    ASSERT_EQ(repro.benches.size(), 1u);
+    EXPECT_EQ(repro.benches[0], "LPS");
+    std::remove(sweep.outcome(1).reproPath.c_str());
+}
+
+TEST(Sweep, BackoffDoublesAndCaps)
+{
+    SweepPolicy policy;
+    policy.backoffMs = 100;
+    EXPECT_EQ(sweepBackoffMs(policy, 0), 100u);
+    EXPECT_EQ(sweepBackoffMs(policy, 1), 200u);
+    EXPECT_EQ(sweepBackoffMs(policy, 2), 400u);
+    EXPECT_EQ(sweepBackoffMs(policy, 10), 5000u); // capped
+    EXPECT_EQ(sweepBackoffMs(policy, 63), 5000u); // no shift overflow
+    policy.backoffMs = 0;
+    EXPECT_EQ(sweepBackoffMs(policy, 5), 0u);
+}
+
+TEST(Sweep, PolicyFromEnvironment)
+{
+    setenv("MASK_SWEEP_TIMEOUT_MS", "2500", 1);
+    setenv("MASK_SWEEP_RETRIES", "2", 1);
+    setenv("MASK_SWEEP_BACKOFF_MS", "50", 1);
+    setenv("MASK_SWEEP_ISOLATE", "1", 1);
+    setenv("MASK_SWEEP_JOURNAL", "/tmp/j.jsonl", 1);
+    const SweepPolicy policy = sweepPolicyFromEnv();
+    EXPECT_EQ(policy.timeoutMs, 2500u);
+    EXPECT_EQ(policy.retries, 2u);
+    EXPECT_EQ(policy.backoffMs, 50u);
+    EXPECT_TRUE(policy.isolate);
+    EXPECT_EQ(policy.journalPath, "/tmp/j.jsonl");
+
+    unsetenv("MASK_SWEEP_TIMEOUT_MS");
+    unsetenv("MASK_SWEEP_RETRIES");
+    unsetenv("MASK_SWEEP_BACKOFF_MS");
+    unsetenv("MASK_SWEEP_ISOLATE");
+    unsetenv("MASK_SWEEP_JOURNAL");
+    const SweepPolicy defaults = sweepPolicyFromEnv();
+    EXPECT_EQ(defaults.timeoutMs, 0u);
+    EXPECT_EQ(defaults.retries, 0u);
+    EXPECT_EQ(defaults.backoffMs, 100u);
+    EXPECT_FALSE(defaults.isolate);
+    EXPECT_TRUE(defaults.journalPath.empty());
+}
+
+TEST(SweepIo, EncodeDecodeRoundTripsExactly)
+{
+    // Round-trip a real simulation result: every field, bit-exact.
+    SweepRunner sweep(shortOptions(), 1);
+    const GpuConfig arch = archByName("maxwell");
+    sweep.submit({arch, DesignPoint::Mask, {"HISTO", "LPS"}});
+    sweep.run();
+    const PairResult &original = sweep.result(0);
+
+    const std::string blob = encodePairResult(original);
+    const PairResult decoded = decodePairResult(blob);
+    EXPECT_EQ(encodePairResult(decoded), blob);
+    EXPECT_EQ(decoded.weightedSpeedup, original.weightedSpeedup);
+    EXPECT_EQ(decoded.stats.cycles, original.stats.cycles);
+    EXPECT_EQ(decoded.stats.ipc, original.stats.ipc);
+    EXPECT_EQ(decoded.stats.dram.rowHits, original.stats.dram.rowHits);
+
+    EXPECT_THROW(decodePairResult("v0 bogus"), std::runtime_error);
+    EXPECT_THROW(decodePairResult(""), std::runtime_error);
+}
+
+TEST(CrashRepro, FatalSignalHandlerFlushesArmedRepro)
+{
+    // Raise a real SIGSEGV in a forked child with an armed repro; the
+    // handler must flush the record before the default disposition
+    // kills the child.
+    const std::string path = tempPath("sigrepro");
+    std::remove(path.c_str());
+    const GpuConfig arch = archByName("maxwell");
+
+    std::fflush(stdout);
+    std::fflush(stderr);
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        const ScopedSignalRepro armed(
+            makeRepro(arch, DesignPoint::Mask, {"HISTO"}, 123, 456),
+            path);
+        ::raise(SIGSEGV);
+        std::_Exit(0); // unreachable
+    }
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(status));
+    EXPECT_EQ(WTERMSIG(status), SIGSEGV);
+
+    const CrashRepro repro = loadRepro(path);
+    EXPECT_EQ(repro.arch, arch.name);
+    EXPECT_EQ(repro.design, designPointName(DesignPoint::Mask));
+    EXPECT_EQ(repro.warmup, 123u);
+    EXPECT_EQ(repro.measure, 456u);
+    EXPECT_EQ(repro.module, "fatal-signal");
+    EXPECT_NE(repro.detail.find("SIGSEGV"), std::string::npos);
+    std::remove(path.c_str());
 }
 
 TEST(Sweep, JobsEnvVariableParsing)
