@@ -9,7 +9,11 @@
  * determinism checks.
  */
 
+#include <algorithm>
+#include <cstdlib>
+
 #include "bench_util.hh"
+#include "metrics/metrics.hh"
 #include "sim/gpu.hh"
 
 using namespace mask;
@@ -26,7 +30,10 @@ emit(const char *label, DesignPoint point,
                 " \"requests_per_sec\": %.0f,"
                 " \"pool_peak_live\": %zu,"
                 " \"skipped_cycles\": %llu, \"skip_windows\": %llu,"
-                " \"skip_fraction\": %.3f}\n",
+                " \"skip_fraction\": %.3f,"
+                " \"ckpt_writes\": %llu, \"ckpt_bytes\": %llu,"
+                " \"ckpt_write_seconds\": %.4f,"
+                " \"ckpt_overhead\": %.4f}\n",
                 label, designPointName(point), benches.size(),
                 static_cast<unsigned long long>(stats.cycles),
                 stats.wallSeconds, stats.megaCyclesPerSec(),
@@ -35,7 +42,36 @@ emit(const char *label, DesignPoint point,
                 static_cast<unsigned long long>(stats.skippedCycles),
                 static_cast<unsigned long long>(stats.skipWindows),
                 safeDiv(static_cast<double>(stats.skippedCycles),
-                        static_cast<double>(stats.cycles)));
+                        static_cast<double>(stats.cycles)),
+                static_cast<unsigned long long>(stats.ckptWrites),
+                static_cast<unsigned long long>(stats.ckptBytes),
+                stats.ckptWriteSeconds,
+                checkpointOverhead(stats.ckptWriteSeconds,
+                                   stats.wallSeconds));
+}
+
+/**
+ * Run one case with periodic checkpointing forced on (interval =
+ * measure/8, snapshots in TMPDIR) so BENCH_throughput.json records the
+ * serialization cost: ckpt_write_seconds, bytes per snapshot, and the
+ * overhead fraction of wall time.
+ */
+GpuStats
+runCheckpointed(Evaluator &eval, const GpuConfig &arch,
+                DesignPoint point,
+                const std::vector<std::string> &benches)
+{
+    const RunOptions options = bench::benchOptions();
+    const std::string interval =
+        std::to_string(std::max<Cycle>(1, options.measure / 8));
+    const char *tmp = std::getenv("TMPDIR");
+    ::setenv("MASK_CKPT_INTERVAL_CYCLES", interval.c_str(), 1);
+    ::setenv("MASK_CKPT_DIR", tmp != nullptr ? tmp : "/tmp", 1);
+    ::unsetenv("MASK_CKPT_KEEP");
+    const GpuStats stats = eval.runShared(arch, point, benches);
+    ::unsetenv("MASK_CKPT_INTERVAL_CYCLES");
+    ::unsetenv("MASK_CKPT_DIR");
+    return stats;
 }
 
 int
@@ -64,6 +100,12 @@ run()
         emit(c.label, c.point,
              c.benches, eval.runShared(arch, c.point, c.benches));
     }
+
+    // Same workload with periodic snapshots on: the delta against
+    // "pair-mask" is the checkpointing cost.
+    bench::progress("perf pair-mask-ckpt");
+    emit("pair-mask-ckpt", DesignPoint::Mask, names,
+         runCheckpointed(eval, arch, DesignPoint::Mask, names));
     return 0;
 }
 

@@ -4,6 +4,10 @@
 # Two sections:
 #   "throughput": per-configuration mega-cycles/sec and requests/sec
 #     from bench/perf_throughput (single-threaded hot-path speed).
+#     The "pair-mask-ckpt" case runs with periodic checkpointing
+#     forced on and records the snapshot cost: ckpt_writes,
+#     ckpt_bytes (total snapshot bytes written), ckpt_write_seconds,
+#     and ckpt_overhead (fraction of wall time spent serializing).
 #   "sweep": fig11 wall-clock serial (MASK_BENCH_JOBS=1) vs parallel
 #     (MASK_BENCH_JOBS=<nproc>) and the resulting speedup. The speedup
 #     scales with hardware threads; on a single-CPU host the parallel

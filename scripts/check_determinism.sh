@@ -87,3 +87,71 @@ if ! diff -u "$out_a" "$out_b"; then
     exit 1
 fi
 echo "deterministic: journal resume byte-identical to uninterrupted run"
+
+# Periodic checkpointing (DESIGN.md §11) only observes state: with
+# MASK_CKPT_* on, every simulated byte of output must match the
+# checkpoint-free run.
+echo "== run 6 (periodic checkpointing enabled) =="
+ckpt_dir="$(mktemp -d)"
+trap 'rm -f "$out_a" "$out_b" "$journal" "$repro"; rm -rf "$ckpt_dir"' EXIT
+
+MASK_BENCH_FAST=1 MASK_BENCH_PAIRS=4 MASK_BENCH_JOBS=1 \
+    MASK_CKPT_INTERVAL_CYCLES=7000 MASK_CKPT_DIR="$ckpt_dir" \
+    "$BIN" >"$out_b" 2>/dev/null
+
+if ! diff -u "$out_a" "$out_b"; then
+    echo "DETERMINISM FAILURE: checkpoint-enabled run diverged from plain run" >&2
+    exit 1
+fi
+echo "deterministic: checkpointing enabled byte-identical to disabled"
+
+# Checkpoint restore across processes: serialize a run halfway
+# through its measured window, restore the snapshot file in a FRESH
+# process, and require the finished stats blob byte-identical to an
+# uninterrupted run of the same configuration — for the SharedTLB and
+# MASK designs, with fault injection on and off.
+REPLAY="${CRASH_REPLAY:-build/bench/crash_replay}"
+if [ -x "$REPLAY" ]; then
+    echo "== run 7 (cross-process snapshot save/resume) =="
+    for combo in "SharedTLB 0" "MASK 0" "MASK 1" "Ideal 1"; do
+        design="${combo% *}"
+        faults="${combo#* }"
+        snap="$ckpt_dir/leg_${design}_${faults}.snap"
+        "$REPLAY" --snapshot-run "$design" "$faults" >"$out_a" 2>/dev/null
+        "$REPLAY" --snapshot-save "$design" "$faults" "$snap" 2>/dev/null
+        "$REPLAY" --snapshot-resume "$design" "$faults" "$snap" >"$out_b" 2>/dev/null
+        if ! diff -u "$out_a" "$out_b"; then
+            echo "DETERMINISM FAILURE: snapshot resume ($design faults=$faults) diverged" >&2
+            exit 1
+        fi
+        echo "deterministic: snapshot resume ($design faults=$faults) bit-exact"
+    done
+else
+    echo "note: $REPLAY not built, skipping snapshot save/resume leg" >&2
+fi
+
+# Crash mid-sweep WITH checkpointing: the re-run resumes completed
+# jobs from the journal and the interrupted job from its newest
+# checkpoint (cycle-0 fallback otherwise) — still byte-identical to a
+# fault-free serial run.
+echo "== run 8 (killed mid-sweep, checkpoints + journal resume) =="
+MASK_BENCH_FAST=1 MASK_BENCH_PAIRS=4 MASK_BENCH_JOBS=1 \
+    "$BIN" >"$out_a" 2>/dev/null
+rm -f "$journal"
+if MASK_BENCH_FAST=1 MASK_BENCH_PAIRS=4 MASK_BENCH_JOBS=1 \
+    MASK_SWEEP_JOURNAL="$journal" MASK_SWEEP_FAULT_CRASH=20 \
+    MASK_CKPT_INTERVAL_CYCLES=7000 MASK_CKPT_DIR="$ckpt_dir" \
+    MASK_REPRO_FILE="$repro" "$BIN" >/dev/null 2>&1; then
+    echo "DETERMINISM FAILURE: injected crash did not kill the sweep" >&2
+    exit 1
+fi
+MASK_BENCH_FAST=1 MASK_BENCH_PAIRS=4 MASK_BENCH_JOBS=1 \
+    MASK_SWEEP_JOURNAL="$journal" \
+    MASK_CKPT_INTERVAL_CYCLES=7000 MASK_CKPT_DIR="$ckpt_dir" \
+    "$BIN" >"$out_b" 2>/dev/null
+
+if ! diff -u "$out_a" "$out_b"; then
+    echo "DETERMINISM FAILURE: checkpoint+journal resume diverged from uninterrupted run" >&2
+    exit 1
+fi
+echo "deterministic: checkpoint+journal resume byte-identical to uninterrupted run"

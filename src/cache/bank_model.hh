@@ -15,6 +15,7 @@
 #include <deque>
 #include <vector>
 
+#include "common/state_codec.hh"
 #include "common/types.hh"
 
 namespace mask {
@@ -51,6 +52,9 @@ class LatencyPipe
     {
         return pipe_.empty() ? kNeverCycle : pipe_.front().readyAt;
     }
+
+    void serialize(StateWriter &w) const;
+    void deserialize(StateReader &r);
 
   private:
     struct Entry
@@ -89,6 +93,9 @@ class BankedPipe
     {
         return static_cast<std::uint32_t>(key) & bankMask_;
     }
+
+    void serialize(StateWriter &w) const;
+    void deserialize(StateReader &r);
 
   private:
     std::vector<LatencyPipe> banks_;

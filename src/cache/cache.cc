@@ -134,6 +134,54 @@ SetAssocCache::flushIf(const std::function<bool(std::uint64_t)> &pred)
     }
 }
 
+void
+SetAssocCache::serialize(StateWriter &w) const
+{
+    w.tag("cache");
+    w.u(sets_);
+    w.u(ways_);
+    w.u(useClock_);
+    w.u(occupancy_);
+    for (const Line &line : lines_) {
+        w.b(line.valid);
+        if (!line.valid)
+            continue;
+        w.u(line.key);
+        w.u(line.payload);
+        w.u(line.lastUse);
+    }
+}
+
+void
+SetAssocCache::deserialize(StateReader &r)
+{
+    r.tag("cache");
+    const std::uint64_t sets = r.u();
+    const std::uint64_t ways = r.u();
+    if (sets != sets_ || ways != ways_)
+        r.fail("cache geometry mismatch (" + std::to_string(sets) +
+               "x" + std::to_string(ways) + " vs configured " +
+               std::to_string(sets_) + "x" + std::to_string(ways_) +
+               ")");
+    useClock_ = r.u();
+    occupancy_ = r.u();
+    std::uint64_t valid = 0;
+    for (Line &line : lines_) {
+        line = Line{};
+        if (!r.b())
+            continue;
+        line.key = r.u();
+        line.payload = r.u();
+        line.lastUse = r.u();
+        line.valid = true;
+        ++valid;
+    }
+    if (valid != occupancy_)
+        r.fail("cache occupancy " + std::to_string(occupancy_) +
+               " disagrees with " + std::to_string(valid) +
+               " valid lines");
+}
+
 int
 SetAssocCache::lruDepth(std::uint64_t key) const
 {

@@ -15,6 +15,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/state_codec.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -75,6 +76,10 @@ class SetAssocCache
      * absent. For replacement-order property tests.
      */
     int lruDepth(std::uint64_t key) const;
+
+    /** Snapshot the full directory, including LRU timestamps. */
+    void serialize(StateWriter &w) const;
+    void deserialize(StateReader &r);
 
   private:
     struct Line

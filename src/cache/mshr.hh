@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/flat_table.hh"
+#include "common/state_codec.hh"
 #include "common/types.hh"
 
 namespace mask {
@@ -66,6 +67,11 @@ class MshrTable
      * a per-cycle re-probe bit for bit).
      */
     void addRejections(std::uint64_t n) { rejections_ += n; }
+
+    /** Snapshot outstanding entries and their waiter lists (the
+     *  recycled-capacity pool is a pure optimization and is skipped). */
+    void serialize(StateWriter &w) const;
+    void deserialize(StateReader &r);
 
   private:
     std::uint32_t entries_;

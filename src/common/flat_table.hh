@@ -29,8 +29,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
+
+#include "common/state_codec.hh"
 
 namespace mask {
 
@@ -152,6 +155,59 @@ class FlatTable
             if (states_[i] == State::Used)
                 fn(slots_[i].key, slots_[i].value);
         }
+    }
+
+    /**
+     * Snapshot the raw slot layout: capacity plus (index, key, value)
+     * for every used slot. Re-inserting the entries would not
+     * reproduce the probe layout — backward-shift deletion makes the
+     * layout a function of the full insert/erase history — and
+     * forEach() order must survive a restore bit-exactly, so the
+     * physical layout itself is the canonical state.
+     * @p item(w, value) writes one value.
+     */
+    template <typename Fn>
+    void
+    serializeSlots(StateWriter &w, Fn &&item) const
+    {
+        w.tag("ft");
+        w.u(slots_.size());
+        w.u(size_);
+        for (std::size_t i = 0; i < slots_.size(); ++i) {
+            if (states_[i] != State::Used)
+                continue;
+            w.u(i);
+            w.u(slots_[i].key);
+            item(w, slots_[i].value);
+        }
+    }
+
+    /** Restore a serializeSlots layout; @p item(r, value) reads one
+     *  value. Rejects malformed capacities and slot indices. */
+    template <typename Fn>
+    void
+    deserializeSlots(StateReader &r, Fn &&item)
+    {
+        r.tag("ft");
+        const std::uint64_t cap = r.u();
+        constexpr std::uint64_t kMaxCapacity = std::uint64_t{1} << 22;
+        if (cap < 16 || cap > kMaxCapacity || (cap & (cap - 1)) != 0)
+            r.fail("invalid table capacity " + std::to_string(cap));
+        const std::uint64_t n = r.count(cap);
+        slots_.assign(static_cast<std::size_t>(cap), Slot{});
+        states_.assign(static_cast<std::size_t>(cap), State::Empty);
+        for (std::uint64_t k = 0; k < n; ++k) {
+            const std::uint64_t idx = r.u();
+            if (idx >= cap)
+                r.fail("slot index " + std::to_string(idx) +
+                       " out of range");
+            if (states_[idx] == State::Used)
+                r.fail("duplicate slot index " + std::to_string(idx));
+            states_[idx] = State::Used;
+            slots_[idx].key = r.u();
+            item(r, slots_[idx].value);
+        }
+        size_ = static_cast<std::size_t>(n);
     }
 
   private:

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/check.hh"
+#include "common/state_codec.hh"
 #include "common/types.hh"
 
 namespace mask {
@@ -51,6 +52,52 @@ struct MemRequest
 
     Cycle issueCycle = 0;       //!< creation time
     Cycle dramEnqueueCycle = 0; //!< entry into a DRAM request buffer
+
+    void
+    serialize(StateWriter &w) const
+    {
+        w.tag("req");
+        w.u(paddr);
+        w.u(asid);
+        w.u(app);
+        w.u(core);
+        w.u(warp);
+        w.u(static_cast<std::uint64_t>(type));
+        w.u(static_cast<std::uint64_t>(origin));
+        w.u(pwLevel);
+        w.u(walkId);
+        w.b(bypassL2);
+        w.b(mshrPrimary);
+        w.b(l2StatsCounted);
+        w.b(live);
+        w.s(where);
+        w.u(issueCycle);
+        w.u(dramEnqueueCycle);
+    }
+
+    void
+    deserialize(StateReader &r)
+    {
+        r.tag("req");
+        paddr = r.u();
+        asid = static_cast<Asid>(r.u());
+        app = static_cast<AppId>(r.u());
+        core = static_cast<CoreId>(r.u());
+        warp = static_cast<WarpId>(r.u());
+        type = static_cast<ReqType>(r.u());
+        origin = static_cast<ReqOrigin>(r.u());
+        pwLevel = static_cast<std::uint8_t>(r.u());
+        walkId = static_cast<std::uint32_t>(r.u());
+        bypassL2 = r.b();
+        mshrPrimary = r.b();
+        l2StatsCounted = r.b();
+        live = r.b();
+        // `where` normally points at string literals; interning gives
+        // the restored label the same process lifetime.
+        where = internLabel(r.s());
+        issueCycle = r.u();
+        dramEnqueueCycle = r.u();
+    }
 };
 
 /** Free-list pool of MemRequest records addressed by ReqId. */
@@ -125,6 +172,55 @@ class RequestPool
     std::size_t peakLive() const { return peakLive_; }
     /** Cumulative alloc() calls (requests/sec observability). */
     std::uint64_t totalAllocated() const { return totalAllocated_; }
+
+    /**
+     * Snapshot the pool. ReqIds allocate LIFO off the free list, so
+     * the exact free-list order is semantic state: a restored run must
+     * hand out the same ids in the same order. Dead slots are elided
+     * (alloc() resets them before reuse).
+     */
+    void
+    serialize(StateWriter &w) const
+    {
+        w.tag("pool");
+        w.u(reqs_.size());
+        for (const MemRequest &req : reqs_) {
+            w.b(req.live);
+            if (req.live)
+                req.serialize(w);
+        }
+        putUintSeq(w, free_);
+        w.u(peakLive_);
+        w.u(highWater_);
+        w.u(totalAllocated_);
+    }
+
+    void
+    deserialize(StateReader &r)
+    {
+        r.tag("pool");
+        const std::uint64_t cap = r.count(kMaxSeqItems);
+        reqs_.assign(static_cast<std::size_t>(cap), MemRequest{});
+        liveCount_ = 0;
+        for (MemRequest &req : reqs_) {
+            if (r.b()) {
+                req.deserialize(r);
+                ++liveCount_;
+            }
+        }
+        getUintSeq(r, free_, cap);
+        peakLive_ = r.u();
+        highWater_ = r.u();
+        totalAllocated_ = r.u();
+        if (liveCount_ + free_.size() != reqs_.size())
+            r.fail("request pool free list inconsistent with live "
+                   "slots");
+        for (const ReqId id : free_) {
+            if (id >= reqs_.size() || reqs_[id].live)
+                r.fail("free-list entry " + std::to_string(id) +
+                       " refers to a live slot");
+        }
+    }
 
   private:
     std::vector<MemRequest> reqs_;

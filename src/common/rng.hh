@@ -13,6 +13,8 @@
 
 #include <cstdint>
 
+#include "common/state_codec.hh"
+
 namespace mask {
 
 /**
@@ -50,6 +52,23 @@ class Rng
      * Used for compute-interval jitter in workload generation.
      */
     std::uint64_t geometric(double mean);
+
+    /** Checkpoint the generator state (StateCodec interface). */
+    void
+    serialize(StateWriter &w) const
+    {
+        w.tag("rng");
+        for (const std::uint64_t s : s_)
+            w.u(s);
+    }
+
+    void
+    deserialize(StateReader &r)
+    {
+        r.tag("rng");
+        for (std::uint64_t &s : s_)
+            s = r.u();
+    }
 
   private:
     std::uint64_t s_[4];

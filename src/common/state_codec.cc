@@ -1,0 +1,273 @@
+#include "common/state_codec.hh"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_set>
+
+namespace mask {
+
+namespace {
+
+std::string
+describe(const std::string &reason, const std::string &field,
+         std::uint64_t cycle)
+{
+    std::string msg = "snapshot error: " + reason;
+    if (!field.empty())
+        msg += " (at field '" + field + "')";
+    if (cycle != SnapshotError::kNoCycle)
+        msg += " (snapshot cycle " + std::to_string(cycle) + ")";
+    return msg;
+}
+
+} // namespace
+
+SnapshotError::SnapshotError(const std::string &reason,
+                             const std::string &field,
+                             std::uint64_t cycle)
+    : std::runtime_error(describe(reason, field, cycle)),
+      reason_(reason),
+      field_(field),
+      cycle_(cycle)
+{
+}
+
+// ---------------------------------------------------------------------
+// StateWriter
+// ---------------------------------------------------------------------
+
+void
+StateWriter::sep()
+{
+    if (!out_.empty())
+        out_.push_back(' ');
+}
+
+void
+StateWriter::tag(const char *name)
+{
+    sep();
+    out_.push_back('/');
+    out_.append(name);
+}
+
+void
+StateWriter::u(std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    sep();
+    out_.append(buf);
+}
+
+void
+StateWriter::i(std::int64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+    sep();
+    out_.append(buf);
+}
+
+void
+StateWriter::d(double v)
+{
+    // C99 hex float: exact round trip through strtod (the sweep_io
+    // codec discipline; see DESIGN.md §10/§11).
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%a", v);
+    sep();
+    out_.append(buf);
+}
+
+void
+StateWriter::s(std::string_view v)
+{
+    sep();
+    out_.push_back('s');
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%zu", v.size());
+    out_.append(buf);
+    out_.push_back(':');
+    out_.append(v);
+}
+
+// ---------------------------------------------------------------------
+// StateReader
+// ---------------------------------------------------------------------
+
+StateReader::StateReader(std::string_view payload, std::uint64_t cycle)
+    : data_(payload), cycle_(cycle)
+{
+}
+
+void
+StateReader::fail(const std::string &why) const
+{
+    throw SnapshotError(why, lastTag_, cycle_);
+}
+
+std::string_view
+StateReader::token()
+{
+    if (pos_ >= data_.size())
+        fail("payload truncated");
+    const std::size_t start = pos_;
+    while (pos_ < data_.size() && data_[pos_] != ' ')
+        ++pos_;
+    const std::string_view tok = data_.substr(start, pos_ - start);
+    if (pos_ < data_.size())
+        ++pos_; // consume the separator
+    if (tok.empty())
+        fail("empty token (corrupted separator)");
+    return tok;
+}
+
+void
+StateReader::tag(const char *name)
+{
+    const std::string_view tok = token();
+    if (tok.size() < 2 || tok[0] != '/' || tok.substr(1) != name) {
+        fail("expected field marker '/" + std::string(name) +
+             "', found '" + std::string(tok) + "'");
+    }
+    lastTag_ = name;
+}
+
+std::uint64_t
+StateReader::u()
+{
+    const std::string_view tok = token();
+    // strtoull needs NUL termination; tokens are short.
+    char buf[32];
+    if (tok.size() >= sizeof(buf))
+        fail("oversized integer token");
+    tok.copy(buf, tok.size());
+    buf[tok.size()] = '\0';
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(buf, &end, 10);
+    if (end != buf + tok.size() || errno == ERANGE || buf[0] == '-')
+        fail("malformed unsigned integer '" + std::string(tok) + "'");
+    return v;
+}
+
+std::int64_t
+StateReader::i()
+{
+    const std::string_view tok = token();
+    char buf[32];
+    if (tok.size() >= sizeof(buf))
+        fail("oversized integer token");
+    tok.copy(buf, tok.size());
+    buf[tok.size()] = '\0';
+    char *end = nullptr;
+    errno = 0;
+    const long long v = std::strtoll(buf, &end, 10);
+    if (end != buf + tok.size() || errno == ERANGE)
+        fail("malformed integer '" + std::string(tok) + "'");
+    return v;
+}
+
+bool
+StateReader::b()
+{
+    const std::uint64_t v = u();
+    if (v > 1)
+        fail("malformed boolean (" + std::to_string(v) + ")");
+    return v == 1;
+}
+
+double
+StateReader::d()
+{
+    const std::string_view tok = token();
+    char buf[64];
+    if (tok.size() >= sizeof(buf))
+        fail("oversized float token");
+    tok.copy(buf, tok.size());
+    buf[tok.size()] = '\0';
+    char *end = nullptr;
+    const double v = std::strtod(buf, &end);
+    if (end != buf + tok.size())
+        fail("malformed hex float '" + std::string(tok) + "'");
+    return v;
+}
+
+std::string
+StateReader::s()
+{
+    if (pos_ >= data_.size())
+        fail("payload truncated");
+    if (data_[pos_] != 's')
+        fail("expected string token");
+    ++pos_;
+    // Parse "<len>:" then take len raw bytes.
+    std::uint64_t len = 0;
+    bool any = false;
+    while (pos_ < data_.size() && data_[pos_] >= '0' &&
+           data_[pos_] <= '9') {
+        const std::uint64_t digit =
+            static_cast<std::uint64_t>(data_[pos_] - '0');
+        if (len > (remaining() / 10) + 1)
+            fail("string length overflows payload");
+        len = len * 10 + digit;
+        ++pos_;
+        any = true;
+    }
+    if (!any || pos_ >= data_.size() || data_[pos_] != ':')
+        fail("malformed string length prefix");
+    ++pos_;
+    if (len > remaining())
+        fail("string length " + std::to_string(len) +
+             " exceeds remaining payload");
+    std::string out(data_.substr(pos_, static_cast<std::size_t>(len)));
+    pos_ += static_cast<std::size_t>(len);
+    if (pos_ < data_.size()) {
+        if (data_[pos_] != ' ')
+            fail("missing separator after string");
+        ++pos_;
+    }
+    return out;
+}
+
+std::uint64_t
+StateReader::count(std::uint64_t max_items)
+{
+    const std::uint64_t n = u();
+    if (n > max_items)
+        fail("element count " + std::to_string(n) +
+             " exceeds bound " + std::to_string(max_items));
+    // Each element encodes to at least two bytes (token + separator);
+    // reject corrupted counts before any allocation happens.
+    if (n > 0 && (n - 1) > remaining() / 2)
+        fail("element count " + std::to_string(n) +
+             " exceeds remaining payload");
+    return n;
+}
+
+void
+StateReader::finish()
+{
+    if (pos_ < data_.size())
+        fail("trailing bytes after payload (" +
+             std::to_string(data_.size() - pos_) + ")");
+}
+
+// ---------------------------------------------------------------------
+// Label interning
+// ---------------------------------------------------------------------
+
+const char *
+internLabel(const std::string &label)
+{
+    static std::mutex mutex;
+    static std::unordered_set<std::string> table;
+    const std::lock_guard<std::mutex> lock(mutex);
+    return table.insert(label).first->c_str();
+}
+
+} // namespace mask

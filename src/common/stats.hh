@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/state_codec.hh"
 #include "common/types.hh"
 
 namespace mask {
@@ -45,6 +46,22 @@ struct HitMiss
         misses += other.misses;
         return *this;
     }
+
+    void
+    serialize(StateWriter &w) const
+    {
+        w.tag("hm");
+        w.u(hits);
+        w.u(misses);
+    }
+
+    void
+    deserialize(StateReader &r)
+    {
+        r.tag("hm");
+        hits = r.u();
+        misses = r.u();
+    }
 };
 
 /** Streaming mean/min/max accumulator (no sample storage). */
@@ -73,6 +90,26 @@ struct RunningStat
 
     double mean() const { return safeDiv(sum, count); }
     void reset() { *this = RunningStat{}; }
+
+    void
+    serialize(StateWriter &w) const
+    {
+        w.tag("rs");
+        w.u(count);
+        w.d(sum);
+        w.d(minVal);
+        w.d(maxVal);
+    }
+
+    void
+    deserialize(StateReader &r)
+    {
+        r.tag("rs");
+        count = r.u();
+        sum = r.d();
+        minVal = r.d();
+        maxVal = r.d();
+    }
 };
 
 /**
@@ -93,6 +130,26 @@ class Histogram
     /** Smallest value v such that >= fraction of samples are <= v. */
     std::uint64_t percentileUpperBound(double fraction) const;
     void reset();
+
+    void
+    serialize(StateWriter &w) const
+    {
+        w.tag("hist");
+        w.u(width_);
+        putUintSeq(w, buckets_);
+        w.u(total_);
+        w.d(sum_);
+    }
+
+    void
+    deserialize(StateReader &r)
+    {
+        r.tag("hist");
+        width_ = r.u();
+        getUintSeq(r, buckets_);
+        total_ = r.u();
+        sum_ = r.d();
+    }
 
   private:
     std::uint64_t width_;
@@ -130,6 +187,24 @@ class IntervalSampler
 
     const RunningStat &stat() const { return stat_; }
     void reset() { stat_.reset(); next_ = 0; }
+
+    void
+    serialize(StateWriter &w) const
+    {
+        w.tag("sampler");
+        w.u(interval_);
+        w.u(next_);
+        stat_.serialize(w);
+    }
+
+    void
+    deserialize(StateReader &r)
+    {
+        r.tag("sampler");
+        interval_ = r.u();
+        next_ = r.u();
+        stat_.deserialize(r);
+    }
 
   private:
     Cycle interval_;

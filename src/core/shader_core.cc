@@ -151,6 +151,79 @@ ShaderCore::accessDone(WarpId warp_id, Cycle now)
 }
 
 void
+ShaderCore::serialize(StateWriter &w) const
+{
+    w.tag("core");
+    w.u(app_);
+    w.u(asid_);
+    w.b(program_ != nullptr);
+    w.u(warpIndexBase_);
+    w.u(warps_.size());
+    for (const Warp &warp : warps_)
+        warp.serialize(w);
+    putUintSeq(w, readyQueue_);
+    w.u(readyCount_);
+    w.i(greedyWarp_);
+    l1Tlb_.serialize(w);
+    l1d_.serialize(w);
+    l1Mshr_.serialize(w);
+    l1dStats_.serialize(w);
+    rng_.serialize(w);
+    w.u(instructions_);
+    w.u(stallCycles_);
+    w.u(outstanding_);
+    w.b(draining_);
+}
+
+void
+ShaderCore::deserialize(StateReader &r)
+{
+    r.tag("core");
+    app_ = static_cast<AppId>(r.u());
+    asid_ = static_cast<Asid>(r.u());
+    // Whether a program was bound; the Gpu re-attaches the actual
+    // pointer via rebindAfterRestore (nullptr when this is false).
+    const bool had_program = r.b();
+    program_ = nullptr;
+    streamTable_ = nullptr;
+    warpIndexBase_ = static_cast<std::uint32_t>(r.u());
+    const std::uint64_t warp_count = r.u();
+    if (warp_count != warps_.size())
+        r.fail("warp count mismatch (" + std::to_string(warp_count) +
+               " vs configured " + std::to_string(warps_.size()) + ")");
+    for (Warp &warp : warps_)
+        warp.deserialize(r);
+    getUintSeq(r, readyQueue_);
+    for (const WarpId w : readyQueue_) {
+        if (w >= warps_.size())
+            r.fail("ready-queue warp id out of range");
+    }
+    readyCount_ = static_cast<std::uint32_t>(r.u());
+    greedyWarp_ = static_cast<int>(r.i());
+    if (greedyWarp_ < -1 ||
+        greedyWarp_ >= static_cast<int>(warps_.size()))
+        r.fail("greedy warp index out of range");
+    l1Tlb_.deserialize(r);
+    l1d_.deserialize(r);
+    l1Mshr_.deserialize(r);
+    l1dStats_.deserialize(r);
+    rng_.deserialize(r);
+    instructions_ = r.u();
+    stallCycles_ = r.u();
+    outstanding_ = static_cast<std::uint32_t>(r.u());
+    draining_ = r.b();
+    hadProgram_ = had_program;
+}
+
+void
+ShaderCore::rebindAfterRestore(const BenchmarkParams *program,
+                               StreamTable *stream_table)
+{
+    program_ = program;
+    streamTable_ = stream_table;
+}
+
+void
 ShaderCore::resetStats()
 {
     instructions_ = 0;

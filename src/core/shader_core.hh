@@ -134,6 +134,19 @@ class ShaderCore
 
     void resetStats();
 
+    /**
+     * Snapshot all mutable core state. The program/stream-table
+     * pointers are owned by the Gpu and are NOT serialized; after
+     * deserialize the Gpu re-attaches them via rebindAfterRestore.
+     */
+    void serialize(StateWriter &w) const;
+    void deserialize(StateReader &r);
+    void rebindAfterRestore(const BenchmarkParams *program,
+                            StreamTable *stream_table);
+    /** True when the snapshot had a program bound (restore must call
+     *  rebindAfterRestore with non-null pointers). */
+    bool needsRebind() const { return hadProgram_; }
+
   private:
     Warp &warp(WarpId w) { return warps_[w]; }
     void makeReady(WarpId w);
@@ -161,6 +174,7 @@ class ShaderCore
     std::uint64_t stallCycles_ = 0;
     std::uint32_t outstanding_ = 0;
     bool draining_ = false;
+    bool hadProgram_ = false; //!< set by deserialize (see needsRebind)
 };
 
 } // namespace mask

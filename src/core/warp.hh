@@ -46,6 +46,35 @@ struct Warp
     {
         *this = Warp{};
     }
+
+    void
+    serialize(StateWriter &w) const
+    {
+        w.tag("warp");
+        w.u(static_cast<std::uint64_t>(state));
+        w.u(computeRemaining);
+        w.u(partsOutstanding);
+        w.u(instructions);
+        w.u(memAccesses);
+        w.u(stallStart);
+        mem.serialize(w);
+    }
+
+    void
+    deserialize(StateReader &r)
+    {
+        r.tag("warp");
+        const std::uint64_t s = r.u();
+        if (s > static_cast<std::uint64_t>(WarpState::Waiting))
+            r.fail("invalid warp state " + std::to_string(s));
+        state = static_cast<WarpState>(s);
+        computeRemaining = static_cast<std::uint32_t>(r.u());
+        partsOutstanding = static_cast<std::uint32_t>(r.u());
+        instructions = r.u();
+        memAccesses = r.u();
+        stallStart = r.u();
+        mem.deserialize(r);
+    }
 };
 
 } // namespace mask

@@ -469,4 +469,124 @@ Dram::resetStats()
         channel.resetStats();
 }
 
+namespace {
+
+/**
+ * Expose std::priority_queue's protected underlying container. The
+ * heap array must round-trip verbatim: completions that tie on `at`
+ * pop in heap-layout order, so rebuilding the heap by re-pushing would
+ * not reproduce the service order bit-exactly.
+ */
+struct CompletionHeapAccess
+    : std::priority_queue<DramChannel::Completion,
+                          std::vector<DramChannel::Completion>,
+                          std::greater<>>
+{
+    using priority_queue::c;
+};
+
+template <typename PQ>
+const std::vector<DramChannel::Completion> &
+heapArray(const PQ &pq)
+{
+    return static_cast<const CompletionHeapAccess &>(pq).c;
+}
+
+template <typename PQ>
+std::vector<DramChannel::Completion> &
+heapArray(PQ &pq)
+{
+    return static_cast<CompletionHeapAccess &>(pq).c;
+}
+
+void
+putQueue(StateWriter &w, const std::vector<DramQueueEntry> &queue)
+{
+    putSeq(w, queue, [](StateWriter &sw, const DramQueueEntry &e) {
+        e.serialize(sw);
+    });
+}
+
+void
+getQueue(StateReader &r, std::vector<DramQueueEntry> &queue)
+{
+    getSeq(r, queue,
+           [](StateReader &sr, DramQueueEntry &e) { e.deserialize(sr); });
+}
+
+} // namespace
+
+void
+DramChannel::serialize(StateWriter &w) const
+{
+    w.tag("chan");
+    w.u(banks_.size());
+    for (const DramBank &bank : banks_)
+        bank.serialize(w);
+    putQueue(w, golden_);
+    putQueue(w, silver_);
+    putQueue(w, normal_);
+    w.u(silverApp_);
+    w.u(silverCredits_);
+    w.u(busFreeAt_);
+    const std::vector<Completion> &heap = heapArray(inService_);
+    putSeq(w, heap, [](StateWriter &sw, const Completion &c) {
+        sw.u(c.at);
+        sw.u(c.id);
+    });
+    putUintSeq(w, completed_);
+    stats_.serialize(w);
+}
+
+void
+DramChannel::deserialize(StateReader &r)
+{
+    r.tag("chan");
+    const std::uint64_t banks = r.u();
+    if (banks != banks_.size())
+        r.fail("DRAM bank count mismatch (" + std::to_string(banks) +
+               " vs configured " + std::to_string(banks_.size()) + ")");
+    for (DramBank &bank : banks_)
+        bank.deserialize(r);
+    getQueue(r, golden_);
+    getQueue(r, silver_);
+    getQueue(r, normal_);
+    silverApp_ = static_cast<AppId>(r.u());
+    silverCredits_ = static_cast<std::uint32_t>(r.u());
+    busFreeAt_ = r.u();
+    std::vector<Completion> &heap = heapArray(inService_);
+    getSeq(r, heap, [](StateReader &sr, Completion &c) {
+        c.at = sr.u();
+        c.id = static_cast<ReqId>(sr.u());
+    });
+    if (!std::is_heap(heap.begin(), heap.end(), std::greater<>{}))
+        r.fail("in-service completion array is not a min-heap");
+    getUintSeq(r, completed_);
+    stats_.deserialize(r);
+}
+
+void
+Dram::serialize(StateWriter &w) const
+{
+    w.tag("dram");
+    w.u(channels_.size());
+    for (const DramChannel &channel : channels_)
+        channel.serialize(w);
+    putUintSeq(w, completed_);
+}
+
+void
+Dram::deserialize(StateReader &r)
+{
+    r.tag("dram");
+    const std::uint64_t n = r.u();
+    if (n != channels_.size())
+        r.fail("DRAM channel count mismatch (" + std::to_string(n) +
+               " vs configured " + std::to_string(channels_.size()) +
+               ")");
+    for (DramChannel &channel : channels_)
+        channel.deserialize(r);
+    getUintSeq(r, completed_);
+}
+
 } // namespace mask

@@ -82,6 +82,22 @@ struct DramBank
     std::uint64_t openRow = 0;
     bool rowValid = false;
     Cycle readyAt = 0;
+
+    void
+    serialize(StateWriter &w) const
+    {
+        w.u(openRow);
+        w.b(rowValid);
+        w.u(readyAt);
+    }
+
+    void
+    deserialize(StateReader &r)
+    {
+        openRow = r.u();
+        rowValid = r.b();
+        readyAt = r.u();
+    }
 };
 
 /** An entry in a channel request buffer. */
@@ -94,6 +110,30 @@ struct DramQueueEntry
     ReqType type = ReqType::Data;
     Cycle enqueueCycle = 0;
     std::uint32_t bypassed = 0; //!< times skipped by younger row hits
+
+    void
+    serialize(StateWriter &w) const
+    {
+        w.u(id);
+        w.u(bank);
+        w.u(row);
+        w.u(app);
+        w.u(static_cast<std::uint64_t>(type));
+        w.u(enqueueCycle);
+        w.u(bypassed);
+    }
+
+    void
+    deserialize(StateReader &r)
+    {
+        id = static_cast<ReqId>(r.u());
+        bank = static_cast<std::uint32_t>(r.u());
+        row = r.u();
+        app = static_cast<AppId>(r.u());
+        type = static_cast<ReqType>(r.u());
+        enqueueCycle = r.u();
+        bypassed = static_cast<std::uint32_t>(r.u());
+    }
 };
 
 /** Statistics kept per channel, split by request type where relevant. */
@@ -114,6 +154,40 @@ struct DramChannelStats
     reset()
     {
         *this = DramChannelStats{};
+    }
+
+    void
+    serialize(StateWriter &w) const
+    {
+        w.tag("dstats");
+        for (const std::uint64_t v : busBusy)
+            w.u(v);
+        for (const std::uint64_t v : serviced)
+            w.u(v);
+        for (const RunningStat &s : latency)
+            s.serialize(w);
+        w.u(rowHits);
+        w.u(rowMisses);
+        w.u(rowConflicts);
+        w.u(enqueueRejects);
+        w.u(capEscalations);
+    }
+
+    void
+    deserialize(StateReader &r)
+    {
+        r.tag("dstats");
+        for (std::uint64_t &v : busBusy)
+            v = r.u();
+        for (std::uint64_t &v : serviced)
+            v = r.u();
+        for (RunningStat &s : latency)
+            s.deserialize(r);
+        rowHits = r.u();
+        rowMisses = r.u();
+        rowConflicts = r.u();
+        enqueueRejects = r.u();
+        capEscalations = r.u();
     }
 };
 
@@ -189,7 +263,17 @@ class DramChannel
      */
     void checkQueueBounds(Cycle now, std::uint32_t channel_idx) const;
 
-  private:
+    /**
+     * Snapshot queues, banks, and in-flight completions. The
+     * completion heap's physical array is serialized verbatim:
+     * completions that tie on `at` pop in heap-layout order, so the
+     * layout itself is semantic state.
+     */
+    void serialize(StateWriter &w) const;
+    void deserialize(StateReader &r);
+
+    /** A request in service; public so the snapshot code can name the
+     *  completion heap's element type. */
     struct Completion
     {
         Cycle at;
@@ -197,6 +281,7 @@ class DramChannel
         bool operator>(const Completion &o) const { return at > o.at; }
     };
 
+  private:
     /** Route a data request to silver or normal per Section 5.4. */
     std::vector<DramQueueEntry> &routeData(AppId app);
 
@@ -284,6 +369,9 @@ class Dram
     /** Aggregate stats over all channels. */
     DramChannelStats aggregateStats() const;
     void resetStats();
+
+    void serialize(StateWriter &w) const;
+    void deserialize(StateReader &r);
 
   private:
     AddressMapper mapper_;

@@ -65,6 +65,22 @@ class TlbBypassCache
     std::uint64_t occupancy() const { return cache_.occupancy(); }
     std::uint32_t entries() const { return cache_.numWays(); }
 
+    void
+    serialize(StateWriter &w) const
+    {
+        w.tag("bypcache");
+        cache_.serialize(w);
+        stats_.serialize(w);
+    }
+
+    void
+    deserialize(StateReader &r)
+    {
+        r.tag("bypcache");
+        cache_.deserialize(r);
+        stats_.deserialize(r);
+    }
+
   private:
     SetAssocCache cache_;
     HitMiss stats_;

@@ -53,6 +53,22 @@ class SilverQuotaController : public SilverQuotaProvider
 
     double pressure(AppId app) const;
 
+    void
+    serialize(StateWriter &w) const
+    {
+        w.tag("quota");
+        putSeq(w, weight_,
+               [](StateWriter &sw, double v) { sw.d(v); });
+    }
+
+    void
+    deserialize(StateReader &r)
+    {
+        r.tag("quota");
+        getSeq(r, weight_,
+               [](StateReader &sr, double &v) { v = sr.d(); });
+    }
+
   private:
     MaskConfig cfg_;
     std::uint32_t numApps_;

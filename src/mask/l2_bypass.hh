@@ -66,6 +66,28 @@ class L2BypassPolicy
 
     std::uint64_t bypasses() const { return bypasses_; }
 
+    void
+    serialize(StateWriter &w) const
+    {
+        w.tag("l2byp");
+        for (const HitMiss &hm : stats_)
+            hm.serialize(w);
+        for (const std::uint32_t v : probeCountdown_)
+            w.u(v);
+        w.u(bypasses_);
+    }
+
+    void
+    deserialize(StateReader &r)
+    {
+        r.tag("l2byp");
+        for (HitMiss &hm : stats_)
+            hm.deserialize(r);
+        for (std::uint32_t &v : probeCountdown_)
+            v = static_cast<std::uint32_t>(r.u());
+        bypasses_ = r.u();
+    }
+
   private:
     MaskConfig cfg_;
     std::array<HitMiss, kMaxLevel + 1> stats_{};

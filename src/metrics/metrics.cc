@@ -49,4 +49,10 @@ harmonicSpeedup(const std::vector<double> &shared_ipc,
     return safeDiv(static_cast<double>(shared_ipc.size()), denom);
 }
 
+double
+checkpointOverhead(double ckpt_write_seconds, double wall_seconds)
+{
+    return safeDiv(ckpt_write_seconds, wall_seconds);
+}
+
 } // namespace mask

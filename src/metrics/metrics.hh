@@ -27,6 +27,14 @@ double maxSlowdown(const std::vector<double> &shared_ipc,
 double harmonicSpeedup(const std::vector<double> &shared_ipc,
                        const std::vector<double> &alone_ipc);
 
+/**
+ * Checkpoint overhead: fraction of host run time spent inside the
+ * periodic snapshot writer (0 when checkpointing is off or no wall
+ * time was measured). Host-side observability for the perf harness.
+ */
+double checkpointOverhead(double ckpt_write_seconds,
+                          double wall_seconds);
+
 } // namespace mask
 
 #endif // MASK_METRICS_METRICS_HH

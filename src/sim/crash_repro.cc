@@ -9,6 +9,8 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "sim/snapshot.hh"
+
 namespace mask {
 
 std::string
@@ -243,6 +245,11 @@ fatalSignalHandler(int sig)
             ::close(fd);
         }
     }
+    // Alongside the repro: flush the faulting thread's last complete
+    // emergency checkpoint ("<path>.sig"), so a crashed run can resume
+    // from its final published state instead of cycle 0. Uses only
+    // async-signal-safe calls (open/write/close).
+    flushEmergencySnapshotFromSignal();
     // Restore the default disposition and re-raise so the process
     // still dies by the original signal (exit status, core dump).
     ::signal(sig, SIG_DFL);

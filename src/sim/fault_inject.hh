@@ -57,6 +57,32 @@ class FaultInjector
     std::uint64_t shootdownsInjected() const { return shootdowns_; }
     std::uint64_t portStallsInjected() const { return portStalls_; }
 
+    void
+    serialize(StateWriter &w) const
+    {
+        w.tag("faults");
+        rng_.serialize(w);
+        w.u(nextShootdown_);
+        w.u(stallUntil_);
+        w.u(delays_);
+        w.u(drops_);
+        w.u(shootdowns_);
+        w.u(portStalls_);
+    }
+
+    void
+    deserialize(StateReader &r)
+    {
+        r.tag("faults");
+        rng_.deserialize(r);
+        nextShootdown_ = r.u();
+        stallUntil_ = r.u();
+        delays_ = r.u();
+        drops_ = r.u();
+        shootdowns_ = r.u();
+        portStalls_ = r.u();
+    }
+
   private:
     FaultInjectConfig cfg_;
     Rng rng_;

@@ -189,11 +189,15 @@ Gpu::run(Cycle cycles)
     if (!cycleSkip_) {
         while (now_ < end) {
             pollCancellation();
+            if (now_ >= nextCkpt_)
+                maybeCheckpoint();
             tickOne();
         }
     } else {
         while (now_ < end) {
             pollCancellation();
+            if (now_ >= nextCkpt_)
+                maybeCheckpoint();
             tickOne();
             if (now_ >= end || now_ < nextSkipProbe_)
                 continue;
@@ -1276,6 +1280,9 @@ Gpu::resetStats()
     readySampler_.reset();
     watchdog_.resetStats();
     wallSeconds_ = 0.0;
+    ckptWriteSeconds_ = 0.0;
+    ckptBytes_ = 0;
+    ckptWrites_ = 0;
     allocsAtReset_ = pool_.totalAllocated();
     skippedCycles_ = 0;
     skipWindows_ = 0;
@@ -1329,6 +1336,9 @@ Gpu::collect()
     out.poolPeakLive = pool_.peakLive();
     out.poolCapacity = pool_.capacity();
     out.wallSeconds = wallSeconds_;
+    out.ckptWriteSeconds = ckptWriteSeconds_;
+    out.ckptBytes = ckptBytes_;
+    out.ckptWrites = ckptWrites_;
     out.requests = pool_.totalAllocated() - allocsAtReset_;
     out.skippedCycles = skippedCycles_;
     out.skipWindows = skipWindows_;
@@ -1340,6 +1350,429 @@ Gpu::collect()
         faults_.delaysInjected() + faults_.dropsInjected() +
         faults_.shootdownsInjected() + faults_.portStallsInjected();
     return out;
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint/restore (DESIGN.md §11)
+// ---------------------------------------------------------------------
+
+namespace {
+
+void
+putAccess(StateWriter &w, const StalledAccess &a)
+{
+    w.u(a.vaddr);
+    w.u(a.core);
+    w.u(a.warp);
+    w.u(a.issueCycle);
+}
+
+void
+getAccess(StateReader &r, StalledAccess &a)
+{
+    a.vaddr = r.u();
+    a.core = static_cast<CoreId>(r.u());
+    a.warp = static_cast<WarpId>(r.u());
+    a.issueCycle = r.u();
+}
+
+} // namespace
+
+void
+Gpu::setCheckpointHook(Cycle interval, std::function<void(Gpu &)> fn)
+{
+    ckptInterval_ = interval;
+    ckptFn_ = std::move(fn);
+    nextCkpt_ = (interval == 0 || !ckptFn_) ? kNeverCycle
+                                            : now_ + interval;
+}
+
+void
+Gpu::maybeCheckpoint()
+{
+    // A skip window can cross several interval boundaries at once;
+    // fire one checkpoint per crossing batch, never retroactively.
+    while (nextCkpt_ <= now_)
+        nextCkpt_ += ckptInterval_;
+    if (!ckptFn_)
+        return;
+    const auto t0 = std::chrono::steady_clock::now();
+    ckptFn_(*this);
+    ckptWriteSeconds_ +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    ++ckptWrites_;
+}
+
+void
+Gpu::serialize(StateWriter &w) const
+{
+    w.tag("gpu");
+    w.u(now_);
+    w.u(statsStart_);
+    w.u(snapshotCookie_);
+    w.u(nextEpoch_);
+    w.u(switchSeed_);
+    w.u(allocsAtReset_);
+
+    // Per-app stream progress; benchmark params and core lists are
+    // reconstructed from the (fingerprint-checked) config.
+    w.tag("apps");
+    w.u(apps_.size());
+    for (const AppContext &app : apps_) {
+        w.u(app.asid);
+        app.streams->serialize(w);
+    }
+
+    frames_.serialize(w);
+    w.tag("pts");
+    for (const auto &pt : pageTables_)
+        pt->serialize(w);
+
+    pool_.serialize(w);
+
+    w.tag("cores");
+    w.u(cores_.size());
+    for (const auto &core : cores_)
+        core->serialize(w);
+    putUintSeq(w, coreAppIndex_);
+    putUintSeq(w, coreInstrCredited_);
+    putUintSeq(w, appInstr_);
+
+    // Shared translation structures.
+    l2Tlb_.serialize(w);
+    l2TlbPipe_.serialize(w);
+    putUintSeq(w, l2TlbInput_);
+    w.tag("slots");
+    putSeq(w, transSlots_, [](StateWriter &sw, const TransSlot &s) {
+        putAccess(sw, s.access);
+        sw.u(s.asid);
+        sw.u(s.vpn);
+        sw.u(s.app);
+        sw.b(s.inUse);
+    });
+    putUintSeq(w, freeTransSlots_);
+    putUintSeq(w, tlbMissRetry_);
+    tlbMshr_.serialize(w);
+    putUintSeq(w, walkStartQueue_);
+    walker_.serialize(w);
+
+    // Page walk cache path (PwCache baseline).
+    pwCache_.serialize(w);
+    pwCachePipe_.serialize(w);
+    putUintSeq(w, pwInput_);
+    pwStats_.serialize(w);
+
+    // Shared L2 data cache.
+    l2Cache_.serialize(w);
+    l2Pipe_.serialize(w);
+    w.tag("l2in");
+    w.u(l2Input_.size());
+    for (const auto &q : l2Input_)
+        putUintSeq(w, q);
+    w.u(l2Work_);
+    l2Mshr_.serialize(w);
+    for (const HitMiss &hm : l2Stats_)
+        hm.serialize(w);
+    for (const HitMiss &hm : l2StatsPerLevel_)
+        hm.serialize(w);
+
+    // DRAM.
+    dram_.serialize(w);
+    putUintSeq(w, dramRetry_);
+
+    // Hardening state.
+    watchdog_.serialize(w);
+    faults_.serialize(w);
+    w.tag("delayed");
+    putSeq(w, delayedResponses_,
+           [](StateWriter &sw, const std::pair<Cycle, ReqId> &e) {
+               sw.u(e.first);
+               sw.u(e.second);
+           });
+    putSeq(w, fetchRetry_,
+           [](StateWriter &sw, const std::pair<Cycle, WalkId> &e) {
+               sw.u(e.first);
+               sw.u(e.second);
+           });
+
+    // MASK mechanisms.
+    tokens_.serialize(w);
+    bypassCache_.serialize(w);
+    l2Policy_.serialize(w);
+    quota_.serialize(w);
+
+    // Stats plumbing.
+    putUintSeq(w, stalledAccesses_);
+    warpsPerMiss_.serialize(w);
+    w.tag("wpmapp");
+    w.u(warpsPerMissPerApp_.size());
+    for (const RunningStat &st : warpsPerMissPerApp_)
+        st.serialize(w);
+    tlbMissLatency_.serialize(w);
+    walkSampler_.serialize(w);
+    w.tag("wsapp");
+    w.u(walkSamplerPerApp_.size());
+    for (const IntervalSampler &sm : walkSamplerPerApp_)
+        sm.serialize(w);
+    readySampler_.serialize(w);
+
+    // Time-multiplex switch machinery.
+    w.tag("switch");
+    putSeq(w, pendingSwitch_,
+           [](StateWriter &sw, const PendingSwitch &s) {
+               sw.b(s.pending);
+               sw.u(s.app);
+               sw.u(s.notBefore);
+           });
+
+    // Retry parking and event-driven wake flags.
+    w.tag("retry");
+    putSeq(w, dataRetry_, [](StateWriter &sw, const DataRetry &d) {
+        putAccess(sw, d.access);
+        sw.u(d.app);
+        sw.u(d.pfn);
+    });
+    putUintSeq(w, coreDataWake_);
+    w.b(anyCoreDataWake_);
+    w.b(tlbRetryWake_);
+
+    // Per-core translation MSHRs (probe layout is history-dependent,
+    // so the flat tables snapshot their raw slot arrays).
+    w.tag("waiters");
+    w.u(coreTransWaiters_.size());
+    for (const auto &table : coreTransWaiters_) {
+        table.serializeSlots(
+            w,
+            [](StateWriter &sw, const std::vector<StalledAccess> &v) {
+                putSeq(sw, v, putAccess);
+            });
+    }
+
+    // Event-driven loop bookkeeping: the skip stats are reported by
+    // collect(), so they must survive a restore bit-exactly too.
+    w.tag("skip");
+    w.u(nextSkipProbe_);
+    w.u(skippedCycles_);
+    w.u(skipWindows_);
+    for (const std::uint64_t v : skipWindowLog2_)
+        w.u(v);
+}
+
+void
+Gpu::deserialize(StateReader &r)
+{
+    r.tag("gpu");
+    now_ = r.u();
+    statsStart_ = r.u();
+    snapshotCookie_ = r.u();
+    nextEpoch_ = r.u();
+    switchSeed_ = r.u();
+    allocsAtReset_ = r.u();
+
+    r.tag("apps");
+    if (r.u() != apps_.size())
+        r.fail("snapshot app count differs from config");
+    for (AppContext &app : apps_) {
+        if (r.u() != app.asid)
+            r.fail("snapshot ASID order differs from config");
+        app.streams->deserialize(r);
+    }
+
+    frames_.deserialize(r);
+    r.tag("pts");
+    for (const auto &pt : pageTables_)
+        pt->deserialize(r);
+
+    pool_.deserialize(r);
+    // Every queue below holds ReqIds into the pool; a corrupted id
+    // must fail validation here, never dereference garbage later.
+    const auto check_req = [&](ReqId id) {
+        if (id >= pool_.capacity() || !pool_[id].live)
+            r.fail("queued request id " + std::to_string(id) +
+                   " out of range or dead");
+    };
+
+    r.tag("cores");
+    if (r.u() != cores_.size())
+        r.fail("snapshot core count differs from config");
+    for (auto &core : cores_)
+        core->deserialize(r);
+    getUintSeq(r, coreAppIndex_);
+    getUintSeq(r, coreInstrCredited_);
+    getUintSeq(r, appInstr_);
+    if (coreAppIndex_.size() != cores_.size() ||
+        coreInstrCredited_.size() != cores_.size() ||
+        appInstr_.size() != apps_.size())
+        r.fail("per-core/per-app accounting vector size mismatch");
+
+    // Re-attach the benchmark/stream pointers the codec cannot carry.
+    for (auto &core : cores_) {
+        if (!core->needsRebind())
+            continue;
+        const AppId app = core->app();
+        if (app >= apps_.size())
+            r.fail("restored core references an unknown app");
+        core->rebindAfterRestore(apps_[app].bench,
+                                 apps_[app].streams.get());
+    }
+
+    l2Tlb_.deserialize(r);
+    l2TlbPipe_.deserialize(r);
+    getUintSeq(r, l2TlbInput_);
+    r.tag("slots");
+    getSeq(r, transSlots_, [](StateReader &sr, TransSlot &s) {
+        getAccess(sr, s.access);
+        s.asid = static_cast<Asid>(sr.u());
+        s.vpn = sr.u();
+        s.app = static_cast<AppId>(sr.u());
+        s.inUse = sr.b();
+    });
+    getUintSeq(r, freeTransSlots_);
+    std::size_t slots_in_use = 0;
+    for (const TransSlot &s : transSlots_)
+        slots_in_use += s.inUse ? 1 : 0;
+    if (slots_in_use + freeTransSlots_.size() != transSlots_.size())
+        r.fail("translation-slot free list disagrees with live flags");
+    for (const std::uint32_t slot : freeTransSlots_) {
+        if (slot >= transSlots_.size() || transSlots_[slot].inUse)
+            r.fail("free translation slot out of range or in use");
+    }
+    getUintSeq(r, tlbMissRetry_);
+    for (const std::uint32_t slot : tlbMissRetry_) {
+        if (slot >= transSlots_.size() || !transSlots_[slot].inUse)
+            r.fail("parked translation slot out of range or free");
+    }
+    for (const std::uint32_t slot : l2TlbInput_) {
+        if (slot >= transSlots_.size() || !transSlots_[slot].inUse)
+            r.fail("L2 TLB input slot out of range or free");
+    }
+    tlbMshr_.deserialize(r);
+    getUintSeq(r, walkStartQueue_);
+    walker_.deserialize(r);
+
+    pwCache_.deserialize(r);
+    pwCachePipe_.deserialize(r);
+    getUintSeq(r, pwInput_);
+    pwStats_.deserialize(r);
+    for (const ReqId id : pwInput_)
+        check_req(id);
+
+    l2Cache_.deserialize(r);
+    l2Pipe_.deserialize(r);
+    r.tag("l2in");
+    if (r.u() != l2Input_.size())
+        r.fail("snapshot L2 bank count differs from config");
+    for (auto &q : l2Input_) {
+        getUintSeq(r, q);
+        for (const ReqId id : q)
+            check_req(id);
+    }
+    l2Work_ = r.u();
+    l2Mshr_.deserialize(r);
+    for (HitMiss &hm : l2Stats_)
+        hm.deserialize(r);
+    for (HitMiss &hm : l2StatsPerLevel_)
+        hm.deserialize(r);
+
+    dram_.deserialize(r);
+    getUintSeq(r, dramRetry_);
+    for (const ReqId id : dramRetry_)
+        check_req(id);
+
+    watchdog_.deserialize(r);
+    faults_.deserialize(r);
+    r.tag("delayed");
+    getSeq(r, delayedResponses_,
+           [&](StateReader &sr, std::pair<Cycle, ReqId> &e) {
+               e.first = sr.u();
+               e.second = static_cast<ReqId>(sr.u());
+               check_req(e.second);
+           });
+    getSeq(r, fetchRetry_,
+           [](StateReader &sr, std::pair<Cycle, WalkId> &e) {
+               e.first = sr.u();
+               e.second = static_cast<WalkId>(sr.u());
+           });
+
+    tokens_.deserialize(r);
+    bypassCache_.deserialize(r);
+    l2Policy_.deserialize(r);
+    quota_.deserialize(r);
+
+    getUintSeq(r, stalledAccesses_);
+    if (stalledAccesses_.size() != apps_.size())
+        r.fail("stalled-access vector size differs from app count");
+    warpsPerMiss_.deserialize(r);
+    r.tag("wpmapp");
+    if (r.u() != warpsPerMissPerApp_.size())
+        r.fail("per-app stat count differs from config");
+    for (RunningStat &st : warpsPerMissPerApp_)
+        st.deserialize(r);
+    tlbMissLatency_.deserialize(r);
+    walkSampler_.deserialize(r);
+    r.tag("wsapp");
+    if (r.u() != walkSamplerPerApp_.size())
+        r.fail("per-app sampler count differs from config");
+    for (IntervalSampler &sm : walkSamplerPerApp_)
+        sm.deserialize(r);
+    readySampler_.deserialize(r);
+
+    r.tag("switch");
+    getSeq(r, pendingSwitch_, [](StateReader &sr, PendingSwitch &s) {
+        s.pending = sr.b();
+        s.app = static_cast<AppId>(sr.u());
+        s.notBefore = sr.u();
+    });
+    if (pendingSwitch_.size() != cores_.size())
+        r.fail("pending-switch vector size differs from core count");
+    switchesInFlight_ = 0;
+    for (const PendingSwitch &s : pendingSwitch_) {
+        if (!s.pending)
+            continue;
+        if (s.app >= apps_.size())
+            r.fail("pending switch targets an unknown app");
+        ++switchesInFlight_;
+    }
+
+    r.tag("retry");
+    getSeq(r, dataRetry_, [&](StateReader &sr, DataRetry &d) {
+        getAccess(sr, d.access);
+        d.app = static_cast<AppId>(sr.u());
+        d.pfn = static_cast<Pfn>(sr.u());
+        if (d.access.core >= cores_.size() || d.app >= apps_.size())
+            r.fail("parked data retry references unknown core/app");
+    });
+    getUintSeq(r, coreDataWake_);
+    if (coreDataWake_.size() != cores_.size())
+        r.fail("core wake vector size differs from core count");
+    anyCoreDataWake_ = r.b();
+    tlbRetryWake_ = r.b();
+
+    r.tag("waiters");
+    if (r.u() != coreTransWaiters_.size())
+        r.fail("waiter table count differs from core count");
+    for (auto &table : coreTransWaiters_) {
+        table.deserializeSlots(
+            r, [](StateReader &sr, std::vector<StalledAccess> &v) {
+                getSeq(sr, v, getAccess);
+            });
+    }
+
+    r.tag("skip");
+    nextSkipProbe_ = r.u();
+    skippedCycles_ = r.u();
+    skipWindows_ = r.u();
+    for (std::uint64_t &v : skipWindowLog2_)
+        v = r.u();
+
+    r.finish();
+
+    // Host-side checkpoint cadence restarts relative to the restored
+    // cycle (policy state is deliberately not part of the snapshot).
+    if (ckptInterval_ != 0 && ckptFn_)
+        nextCkpt_ = now_ + ckptInterval_;
 }
 
 } // namespace mask

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -21,6 +22,7 @@
 #include "common/config.hh"
 #include "common/flat_table.hh"
 #include "common/memreq.hh"
+#include "common/state_codec.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "core/shader_core.hh"
@@ -92,6 +94,13 @@ struct GpuStats
     // determinism-checked bench tables).
     double wallSeconds = 0.0;      //!< host time spent inside run()
     std::uint64_t requests = 0;    //!< pool allocations in the window
+
+    // Checkpoint overhead (host-side, like wallSeconds): time spent
+    // inside the periodic checkpoint callback, bytes written, and
+    // checkpoints taken during the window.
+    double ckptWriteSeconds = 0.0;
+    std::uint64_t ckptBytes = 0;
+    std::uint64_t ckptWrites = 0;
 
     // Event-driven loop observability (DESIGN.md §9): cycles the main
     // loop fast-forwarded past instead of ticking, how many contiguous
@@ -196,6 +205,48 @@ class Gpu
      * request, leaked MSHR, queue-bound or token-bound violation.
      */
     void watchdogSweepNow();
+
+    // --- Checkpoint/restore (DESIGN.md §11) ---
+
+    /**
+     * Serialize the complete simulated machine: cores (warps,
+     * scoreboards, parked retries), caches/TLBs with MSHR contents and
+     * waiter lists, DRAM queues and FR-FCFS state, page tables and
+     * walker slots, MASK controllers, RNG streams, and every stats
+     * accumulator. Host-side accounting (wallSeconds) is excluded — a
+     * restored Gpu continues bit-exactly, it does not replay wall time.
+     */
+    void serialize(StateWriter &w) const;
+
+    /**
+     * Restore a payload written by serialize() into a Gpu constructed
+     * from an identical config and app list. Throws SnapshotError on
+     * any geometry mismatch, truncation, or corrupted field; the Gpu
+     * is left unusable on failure (restore into a fresh instance).
+     */
+    void deserialize(StateReader &r);
+
+    /** Opaque runner cookie carried inside snapshots (resume phase). */
+    std::uint64_t snapshotCookie() const { return snapshotCookie_; }
+    void setSnapshotCookie(std::uint64_t v) { snapshotCookie_ = v; }
+
+    /**
+     * Install a periodic checkpoint callback: @p fn runs at the top of
+     * the run() loop whenever now() crossed the next multiple-of-
+     * @p interval boundary (opportunistic — event-driven skips are
+     * never clamped, so the callback fires at the first loop iteration
+     * at or past the boundary). interval == 0 uninstalls; the disabled
+     * path costs one predictable branch per iteration.
+     */
+    void setCheckpointHook(Cycle interval,
+                           std::function<void(Gpu &)> fn);
+
+    /** Checkpoint callbacks report their file size here (host-side
+     *  accounting surfaced as GpuStats::ckptBytes). */
+    void noteCheckpointBytes(std::uint64_t bytes)
+    {
+        ckptBytes_ += bytes;
+    }
 
   private:
     struct AppContext
@@ -421,6 +472,18 @@ class Gpu
     std::uint64_t skippedCycles_ = 0;
     std::uint64_t skipWindows_ = 0;
     std::uint64_t skipWindowLog2_[kSkipHistBuckets] = {};
+
+    // --- Checkpoint hook (DESIGN.md §11; host-side policy) ---
+    /** Advance nextCkpt_ past now_ and invoke the callback. */
+    void maybeCheckpoint();
+    Cycle ckptInterval_ = 0;
+    Cycle nextCkpt_ = kNeverCycle;
+    std::function<void(Gpu &)> ckptFn_;
+    double ckptWriteSeconds_ = 0.0;
+    std::uint64_t ckptBytes_ = 0;
+    std::uint64_t ckptWrites_ = 0;
+    /** Runner phase cookie; serialized verbatim, never interpreted. */
+    std::uint64_t snapshotCookie_ = 0;
 
     // --- Host-side throughput accounting ---
     double wallSeconds_ = 0.0;      //!< accumulated inside run()

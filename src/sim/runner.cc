@@ -5,6 +5,7 @@
 
 #include "metrics/metrics.hh"
 #include "sim/presets.hh"
+#include "sim/snapshot.hh"
 
 namespace mask {
 
@@ -115,17 +116,26 @@ Evaluator::runShared(const GpuConfig &arch, DesignPoint point,
     const GpuConfig cfg = applyDesignPoint(arch, point);
     // A hard crash (SIGSEGV/SIGABRT/...) during this run flushes the
     // same repro record an invariant failure would, via the
-    // fatal-signal handlers.
+    // fatal-signal handlers — plus the last emergency checkpoint when
+    // MASK_CKPT_* checkpointing is on.
     const ScopedSignalRepro armed(
         makeRepro(arch, point, bench_names, options_.warmup,
                   options_.measure),
         reproFilePath());
     try {
-        Gpu gpu(cfg, toAppDescs(bench_names));
-        gpu.run(options_.warmup);
-        gpu.resetStats();
-        gpu.run(options_.measure);
-        return gpu.collect();
+        const CheckpointPolicy ckpt = checkpointPolicyFromEnv();
+        const std::uint64_t fp = configFingerprint(cfg);
+        const std::string path =
+            ckpt.enabled()
+                ? checkpointPath(ckpt, fp, bench_names,
+                                 options_.warmup, options_.measure)
+                : std::string();
+        return runWithCheckpoints(
+            [&]() {
+                return std::make_unique<Gpu>(cfg,
+                                             toAppDescs(bench_names));
+            },
+            ckpt, fp, path, options_.warmup, options_.measure);
     } catch (const SimInvariantError &err) {
         captureCrash(arch, point, bench_names, options_, err);
     }
@@ -156,11 +166,22 @@ Evaluator::aloneIpc(const GpuConfig &arch, DesignPoint point,
                       options_.measure),
             reproFilePath());
         try {
-            Gpu gpu(cfg, toAppDescs({bench}));
-            gpu.run(options_.warmup);
-            gpu.resetStats();
-            gpu.run(options_.measure);
-            return gpu.collect().ipc[0];
+            const CheckpointPolicy ckpt = checkpointPolicyFromEnv();
+            const std::uint64_t fp = configFingerprint(cfg);
+            const std::string path =
+                ckpt.enabled()
+                    ? checkpointPath(ckpt, fp, {"alone-" + bench},
+                                     options_.warmup,
+                                     options_.measure)
+                    : std::string();
+            return runWithCheckpoints(
+                       [&]() {
+                           return std::make_unique<Gpu>(
+                               cfg, toAppDescs({bench}));
+                       },
+                       ckpt, fp, path, options_.warmup,
+                       options_.measure)
+                .ipc[0];
         } catch (const SimInvariantError &err) {
             captureCrash(cfg, point, {bench}, options_, err);
         }

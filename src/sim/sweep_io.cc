@@ -16,7 +16,9 @@ namespace {
 // Token-stream encoder/decoder (exact round-trip)
 // ---------------------------------------------------------------------
 
-constexpr const char *kBlobVersion = "v1";
+// v2: added the checkpoint-overhead fields (ckptWriteSeconds,
+// ckptBytes, ckptWrites) to the GpuStats tail.
+constexpr const char *kBlobVersion = "v2";
 
 struct Encoder
 {
@@ -132,6 +134,11 @@ struct Decoder
     vec(Vec &v, Fn &&item)
     {
         const std::uint64_t n = u();
+        // Every element costs at least two bytes (" 0"); a count the
+        // remaining stream cannot possibly hold is corruption, and
+        // must fail cleanly here rather than as a giant reserve().
+        if (n > static_cast<std::uint64_t>(end - p) / 2)
+            fail("implausible vector length");
         v.clear();
         v.reserve(n);
         for (std::uint64_t i = 0; i < n; ++i)
@@ -207,6 +214,13 @@ encodeStats(Encoder &enc, const GpuStats &s)
     enc.u(s.skippedCycles);
     enc.u(s.skipWindows);
     enc.vec(s.skipWindowLog2, [&](std::uint64_t v) { enc.u(v); });
+    // Checkpoint overhead is host-side like wallSeconds: the measured
+    // values vary run to run (and are zero whenever checkpointing is
+    // off), so the blob carries zeros to stay a pure function of the
+    // simulation.
+    enc.d(0.0);
+    enc.u(0);
+    enc.u(0);
 }
 
 void
@@ -262,6 +276,9 @@ decodeStats(Decoder &dec, GpuStats &s)
     s.skippedCycles = dec.u();
     s.skipWindows = dec.u();
     dec.vec(s.skipWindowLog2, [&]() { return dec.u(); });
+    s.ckptWriteSeconds = dec.d();
+    s.ckptBytes = dec.u();
+    s.ckptWrites = dec.u();
 }
 
 } // namespace

@@ -11,7 +11,7 @@
  * uninterrupted run. Doubles are therefore encoded as C99 hex floats
  * ("%a"), which round-trip exactly; integers as decimal.
  *
- * The encoding is a versioned, space-separated token stream ("v1
+ * The encoding is a versioned, space-separated token stream ("v2
  * ..."). It must cover every field of PairResult/GpuStats — when a
  * stat is added to GpuStats, extend encode/decode here and bump the
  * version, or journal-resumed benches will silently print zeros for
@@ -20,7 +20,7 @@
  * Journal format (one JSON object per line, append-only):
  *
  *   {"key":"<job key>","status":"Ok","attempts":1,"error":"",
- *    "result":"v1 ..."}
+ *    "result":"v2 ..."}
  *
  * The key fingerprints everything that determines a job's result:
  * config fingerprint, design point, bench list, sweep mode, and run

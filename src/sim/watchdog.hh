@@ -87,6 +87,24 @@ class Watchdog
         maxAgeSeen_ = 0;
     }
 
+    void
+    serialize(StateWriter &w) const
+    {
+        w.tag("wdog");
+        w.u(nextSweep_);
+        w.u(sweepsDone_);
+        w.u(maxAgeSeen_);
+    }
+
+    void
+    deserialize(StateReader &r)
+    {
+        r.tag("wdog");
+        nextSweep_ = r.u();
+        sweepsDone_ = r.u();
+        maxAgeSeen_ = r.u();
+    }
+
   private:
     void sweepPool(Cycle now, const WatchdogView &view);
     void sweepTlbMshr(Cycle now, const WatchdogView &view);

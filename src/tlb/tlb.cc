@@ -116,4 +116,30 @@ Tlb::resetStats()
     resetEpochStats();
 }
 
+void
+Tlb::serialize(StateWriter &w) const
+{
+    w.tag("tlb");
+    cache_.serialize(w);
+    stats_.serialize(w);
+    epochStats_.serialize(w);
+    putSeq(w, perAsid_,
+           [](StateWriter &sw, const HitMiss &hm) { hm.serialize(sw); });
+    putSeq(w, epochPerAsid_,
+           [](StateWriter &sw, const HitMiss &hm) { hm.serialize(sw); });
+}
+
+void
+Tlb::deserialize(StateReader &r)
+{
+    r.tag("tlb");
+    cache_.deserialize(r);
+    stats_.deserialize(r);
+    epochStats_.deserialize(r);
+    getSeq(r, perAsid_,
+           [](StateReader &sr, HitMiss &hm) { hm.deserialize(sr); });
+    getSeq(r, epochPerAsid_,
+           [](StateReader &sr, HitMiss &hm) { hm.deserialize(sr); });
+}
+
 } // namespace mask

@@ -80,6 +80,9 @@ class Tlb
         return cache_.numSets() * cache_.numWays();
     }
 
+    void serialize(StateWriter &w) const;
+    void deserialize(StateReader &r);
+
   private:
     /** Grow the per-ASID stat vectors to cover @p asid. */
     void ensureAsid(Asid asid);

@@ -100,6 +100,9 @@ class TlbMshrTable
 
     void resetStats();
 
+    void serialize(StateWriter &w) const;
+    void deserialize(StateReader &r);
+
   private:
     std::uint32_t entries_;
     FlatTable<Entry> table_;

@@ -50,6 +50,20 @@ class FrameAllocator
     std::uint64_t pageBytes() const { return 1ull << pageBits_; }
     Addr frameAddr(Pfn pfn) const { return pfn << pageBits_; }
 
+    void
+    serialize(StateWriter &w) const
+    {
+        w.tag("frames");
+        w.u(next_);
+    }
+
+    void
+    deserialize(StateReader &r)
+    {
+        r.tag("frames");
+        next_ = r.u();
+    }
+
   private:
     std::uint32_t pageBits_;
     Pfn next_ = 0;
@@ -95,6 +109,14 @@ class PageTable
      * nodes are kept. Returns true if the mapping existed.
      */
     bool unmapPage(Vpn vpn);
+
+    /**
+     * Snapshot the radix tree (interior frames interleave with leaf
+     * allocations in the shared FrameAllocator, so the exact tree
+     * shape and frame numbers are semantic) plus the leaf map.
+     */
+    void serialize(StateWriter &w) const;
+    void deserialize(StateReader &r);
 
   private:
     struct Node

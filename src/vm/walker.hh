@@ -94,6 +94,9 @@ class PageTableWalker
 
     void resetStats() { walkLatency_.reset(); started_ = 0; }
 
+    void serialize(StateWriter &w) const;
+    void deserialize(StateReader &r);
+
   private:
     struct Slot
     {

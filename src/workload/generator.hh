@@ -148,6 +148,20 @@ class StreamTable
 
     void reset() { std::fill(counts_.begin(), counts_.end(), 0); }
 
+    void
+    serialize(StateWriter &w) const
+    {
+        w.tag("streams");
+        putUintSeq(w, counts_);
+    }
+
+    void
+    deserialize(StateReader &r)
+    {
+        r.tag("streams");
+        getUintSeq(r, counts_);
+    }
+
   private:
     void
     ensure(std::uint32_t stream)
@@ -167,6 +181,28 @@ struct WarpMemState
     std::uint64_t lineCursor = 0;
     std::uint64_t lastPos = 0; //!< stream head position at last pick
     bool started = false;
+
+    void
+    serialize(StateWriter &w) const
+    {
+        w.tag("wm");
+        w.u(page);
+        w.u(runLeft);
+        w.u(lineCursor);
+        w.u(lastPos);
+        w.b(started);
+    }
+
+    void
+    deserialize(StateReader &r)
+    {
+        r.tag("wm");
+        page = r.u();
+        runLeft = static_cast<std::uint32_t>(r.u());
+        lineCursor = r.u();
+        lastPos = r.u();
+        started = r.b();
+    }
 };
 
 /**

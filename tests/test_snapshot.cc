@@ -1,0 +1,614 @@
+/**
+ * @file
+ * Checkpoint/restore tests (DESIGN.md §11): bit-exact round-trips
+ * across design points with and without fault injection, the
+ * corruption matrix (truncated, bit-flipped, stale-version,
+ * wrong-config snapshots must raise SnapshotError — never UB, so this
+ * file also runs under the ASan/UBSan build), the periodic checkpoint
+ * hook, the MASK_CKPT_* policy plumbing, and the emergency
+ * double-buffer the fatal-signal handlers flush.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/config.hh"
+#include "sim/gpu.hh"
+#include "sim/runner.hh"
+#include "sim/snapshot.hh"
+#include "sim/sweep_io.hh"
+#include "workload/suite.hh"
+
+namespace mask {
+namespace {
+
+constexpr Cycle kWarmup = 3000;
+constexpr Cycle kMeasure = 6000;
+
+/** Small but complete GPU: 4 cores, 16 warps each (as test_gpu). */
+GpuConfig
+smallConfig()
+{
+    GpuConfig cfg;
+    cfg.numCores = 4;
+    cfg.warpsPerCore = 16;
+    cfg.l2 = CacheConfig{256 * 1024, 128, 8, 10, 4, 2, 64};
+    cfg.l2Tlb = TlbConfig{128, 8, 10, 2, 64};
+    cfg.dram.channels = 2;
+    cfg.mask.epochCycles = 2000;
+    return cfg;
+}
+
+const BenchmarkParams &
+benchA()
+{
+    static const BenchmarkParams p = [] {
+        BenchmarkParams q;
+        q.name = "snap-a";
+        q.hotPages = 4;
+        q.coldPages = 5000;
+        q.hotFraction = 0.1;
+        q.pageRun = 2;
+        q.streamFraction = 0.6;
+        q.blockWarps = 16;
+        q.randWindow = 4;
+        q.stepAccesses = 24;
+        q.computeMean = 4;
+        q.memDivergence = 2;
+        q.lineReuse = 0.3;
+        return q;
+    }();
+    return p;
+}
+
+const BenchmarkParams &
+benchB()
+{
+    static const BenchmarkParams p = [] {
+        BenchmarkParams q = benchA();
+        q.name = "snap-b";
+        q.coldPages = 100;
+        q.pageRun = 8;
+        return q;
+    }();
+    return p;
+}
+
+/**
+ * Exact textual image of every simulated (non-host-side) GpuStats
+ * field, via the journal codec: two stats with equal blobs are
+ * bit-identical in everything the determinism guarantee covers.
+ */
+std::string
+statsBlob(const GpuStats &stats)
+{
+    PairResult r;
+    r.stats = stats;
+    r.sharedIpc = stats.ipc;
+    return encodePairResult(r);
+}
+
+std::unique_ptr<Gpu>
+makeGpu(const GpuConfig &cfg)
+{
+    return std::make_unique<Gpu>(
+        cfg, std::vector<AppDesc>{AppDesc{&benchA()}, AppDesc{&benchB()}});
+}
+
+GpuConfig
+configFor(DesignPoint point, bool faults)
+{
+    GpuConfig cfg = applyDesignPoint(smallConfig(), point);
+    if (faults) {
+        cfg.harden.fault.enabled = true;
+        cfg.harden.fault.seed = 7;
+        cfg.harden.fault.dramDelayProb = 0.05;
+        cfg.harden.fault.walkDropProb = 0.02;
+        cfg.harden.fault.portStallProb = 0.01;
+    }
+    return cfg;
+}
+
+std::string
+tmpPath(const std::string &leaf)
+{
+    return ::testing::TempDir() + leaf;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(static_cast<bool>(in)) << path;
+    std::string data((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    return data;
+}
+
+// ---------------------------------------------------------------------
+// Bit-exact round-trips across design points and fault injection
+// ---------------------------------------------------------------------
+
+class SnapshotRoundTrip
+    : public ::testing::TestWithParam<std::tuple<DesignPoint, bool>>
+{
+};
+
+TEST_P(SnapshotRoundTrip, MidMeasureRestoreIsBitExact)
+{
+    const auto [point, faults] = GetParam();
+    const GpuConfig cfg = configFor(point, faults);
+    const std::uint64_t fp = configFingerprint(cfg);
+
+    // Reference: uninterrupted warmup + measure.
+    auto ref = makeGpu(cfg);
+    ref->run(kWarmup);
+    ref->resetStats();
+    ref->run(kMeasure);
+    const std::string want = statsBlob(ref->collect());
+
+    // Snapshot halfway through the measured window...
+    auto g1 = makeGpu(cfg);
+    g1->run(kWarmup);
+    g1->resetStats();
+    g1->setSnapshotCookie(1);
+    g1->run(kMeasure / 2);
+    const std::string path = tmpPath("mask_roundtrip.snap");
+    saveSnapshotFile(path, fp, *g1);
+
+    // ...restore into a FRESH Gpu and finish the window there.
+    auto g2 = makeGpu(cfg);
+    loadSnapshotFile(path, fp, *g2);
+    EXPECT_EQ(g2->now(), kWarmup + kMeasure / 2);
+    EXPECT_EQ(g2->snapshotCookie(), 1u);
+    g2->run(kMeasure - kMeasure / 2);
+    EXPECT_EQ(statsBlob(g2->collect()), want);
+
+    // Serializing g1 must not have perturbed it: continuing the
+    // ORIGINAL instance reaches the identical end state.
+    g1->run(kMeasure - kMeasure / 2);
+    EXPECT_EQ(statsBlob(g1->collect()), want);
+
+    std::remove(path.c_str());
+}
+
+TEST_P(SnapshotRoundTrip, MidWarmupRestoreIsBitExact)
+{
+    const auto [point, faults] = GetParam();
+    const GpuConfig cfg = configFor(point, faults);
+    const std::uint64_t fp = configFingerprint(cfg);
+
+    auto ref = makeGpu(cfg);
+    ref->run(kWarmup);
+    ref->resetStats();
+    ref->run(kMeasure);
+    const std::string want = statsBlob(ref->collect());
+
+    auto g1 = makeGpu(cfg);
+    g1->run(kWarmup / 2);
+    const std::string image = renderSnapshot(fp, *g1);
+
+    auto g2 = makeGpu(cfg);
+    std::uint64_t cycle = 0;
+    const std::string_view payload =
+        validateSnapshotImage(image, fp, &cycle);
+    StateReader reader(payload, cycle);
+    g2->deserialize(reader);
+    EXPECT_EQ(g2->now(), kWarmup / 2);
+    EXPECT_EQ(g2->snapshotCookie(), 0u) << "cookie 0 = warmup phase";
+    g2->run(kWarmup - kWarmup / 2);
+    g2->resetStats();
+    g2->run(kMeasure);
+    EXPECT_EQ(statsBlob(g2->collect()), want);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Designs, SnapshotRoundTrip,
+    ::testing::Combine(::testing::Values(DesignPoint::SharedTlb,
+                                         DesignPoint::Mask,
+                                         DesignPoint::Ideal),
+                       ::testing::Bool()),
+    [](const auto &info) {
+        return std::string(designPointName(std::get<0>(info.param)))
+                   .append(std::get<1>(info.param) ? "_faults"
+                                                   : "_clean");
+    });
+
+// ---------------------------------------------------------------------
+// Corruption matrix: every tampered snapshot raises SnapshotError
+// ---------------------------------------------------------------------
+
+class SnapshotCorruption : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        cfg_ = configFor(DesignPoint::Mask, false);
+        fp_ = configFingerprint(cfg_);
+        auto gpu = makeGpu(cfg_);
+        gpu->run(2500);
+        image_ = renderSnapshot(fp_, *gpu);
+    }
+
+    /** Expect load of @p image to throw, and return the error. */
+    SnapshotError
+    expectRejected(const std::string &image,
+                   std::uint64_t fp = 0)
+    {
+        if (fp == 0)
+            fp = fp_;
+        auto gpu = makeGpu(cfg_);
+        try {
+            std::uint64_t cycle = SnapshotError::kNoCycle;
+            const std::string_view payload =
+                validateSnapshotImage(image, fp, &cycle);
+            StateReader reader(payload, cycle);
+            gpu->deserialize(reader);
+        } catch (const SnapshotError &err) {
+            return err;
+        }
+        ADD_FAILURE() << "corrupted snapshot was accepted";
+        return SnapshotError("", "", SnapshotError::kNoCycle);
+    }
+
+    GpuConfig cfg_;
+    std::uint64_t fp_ = 0;
+    std::string image_;
+};
+
+TEST_F(SnapshotCorruption, IntactImageRestores)
+{
+    auto gpu = makeGpu(cfg_);
+    std::uint64_t cycle = 0;
+    const std::string_view payload =
+        validateSnapshotImage(image_, fp_, &cycle);
+    StateReader reader(payload, cycle);
+    gpu->deserialize(reader);
+    EXPECT_EQ(gpu->now(), 2500u);
+}
+
+TEST_F(SnapshotCorruption, TruncatedPayload)
+{
+    const SnapshotError err =
+        expectRejected(image_.substr(0, image_.size() - 7));
+    EXPECT_NE(err.reason().find("truncated"), std::string::npos)
+        << err.reason();
+    EXPECT_EQ(err.cycle(), 2500u) << "error carries snapshot cycle";
+}
+
+TEST_F(SnapshotCorruption, TruncatedBeforeHeaderEnds)
+{
+    const SnapshotError err = expectRejected(image_.substr(0, 10));
+    EXPECT_NE(err.reason().find("header"), std::string::npos)
+        << err.reason();
+}
+
+TEST_F(SnapshotCorruption, SingleBitFlipInPayload)
+{
+    std::string bad = image_;
+    bad[bad.size() / 2] =
+        static_cast<char>(bad[bad.size() / 2] ^ 0x08);
+    const SnapshotError err = expectRejected(bad);
+    EXPECT_NE(err.reason().find("checksum"), std::string::npos)
+        << err.reason();
+    EXPECT_EQ(err.cycle(), 2500u);
+}
+
+TEST_F(SnapshotCorruption, StaleFormatVersion)
+{
+    ASSERT_EQ(image_.compare(0, 10, "MASKSNAP 1"), 0);
+    std::string bad = image_;
+    bad[9] = '9';
+    const SnapshotError err = expectRejected(bad);
+    EXPECT_NE(err.reason().find("version"), std::string::npos)
+        << err.reason();
+}
+
+TEST_F(SnapshotCorruption, BadMagic)
+{
+    std::string bad = image_;
+    bad[0] = 'X';
+    const SnapshotError err = expectRejected(bad);
+    EXPECT_NE(err.reason().find("magic"), std::string::npos)
+        << err.reason();
+}
+
+TEST_F(SnapshotCorruption, MismatchedConfigFingerprint)
+{
+    const SnapshotError err = expectRejected(image_, fp_ + 1);
+    EXPECT_NE(err.reason().find("fingerprint"), std::string::npos)
+        << err.reason();
+    EXPECT_EQ(err.cycle(), 2500u)
+        << "fingerprint check runs after the cycle is parsed";
+}
+
+TEST_F(SnapshotCorruption, ValidChecksumOverTruncatedPayload)
+{
+    // Corruption that defeats the checksum (here: a rewritten header
+    // over a cut payload) must still be caught by the bounds-checked
+    // payload decoder, with the failing structural field named.
+    const std::size_t nl = image_.find('\n');
+    ASSERT_NE(nl, std::string::npos);
+    const std::string payload =
+        image_.substr(nl + 1, (image_.size() - nl - 1) / 2);
+    std::string bad = "MASKSNAP 1 " + std::to_string(fp_) + " 2500 " +
+                      std::to_string(payload.size()) + " " +
+                      std::to_string(fnv1a64(payload)) + "\n" + payload;
+    const SnapshotError err = expectRejected(bad);
+    EXPECT_EQ(err.cycle(), 2500u);
+    EXPECT_FALSE(err.field().empty())
+        << "decoder errors name the last structural field reached";
+}
+
+TEST_F(SnapshotCorruption, MissingFile)
+{
+    auto gpu = makeGpu(cfg_);
+    EXPECT_THROW(loadSnapshotFile(tmpPath("does_not_exist.snap"), fp_,
+                                  *gpu),
+                 SnapshotError);
+}
+
+// ---------------------------------------------------------------------
+// Periodic checkpoint hook and runWithCheckpoints
+// ---------------------------------------------------------------------
+
+TEST(CheckpointHook, FiresOnIntervalAndIsTransparent)
+{
+    const GpuConfig cfg = configFor(DesignPoint::Mask, false);
+
+    auto plain = makeGpu(cfg);
+    plain->run(kWarmup);
+    plain->resetStats();
+    plain->run(kMeasure);
+    const std::string want = statsBlob(plain->collect());
+
+    auto hooked = makeGpu(cfg);
+    hooked->run(kWarmup);
+    hooked->resetStats();
+    // Installed after resetStats so the `calls` counter and the
+    // ckptWrites stat (zeroed with the window) cover the same span.
+    int calls = 0;
+    hooked->setCheckpointHook(512, [&calls](Gpu &) { ++calls; });
+    hooked->run(kMeasure);
+    const GpuStats stats = hooked->collect();
+
+    EXPECT_GT(calls, 0);
+    EXPECT_EQ(static_cast<std::uint64_t>(calls), stats.ckptWrites)
+        << "collect() reports checkpoint count (host-side)";
+    EXPECT_EQ(statsBlob(stats), want)
+        << "checkpointing must not perturb simulated results";
+}
+
+TEST(CheckpointHook, DisabledCostsNothingAndNeverFires)
+{
+    const GpuConfig cfg = configFor(DesignPoint::SharedTlb, false);
+    auto gpu = makeGpu(cfg);
+    int calls = 0;
+    gpu->setCheckpointHook(0, [&calls](Gpu &) { ++calls; });
+    gpu->run(4000);
+    EXPECT_EQ(calls, 0);
+    EXPECT_EQ(gpu->collect().ckptWrites, 0u);
+}
+
+TEST(RunWithCheckpoints, EnabledMatchesDisabledBitExactly)
+{
+    const GpuConfig cfg = configFor(DesignPoint::Mask, false);
+    const std::uint64_t fp = configFingerprint(cfg);
+    const auto make = [&cfg]() { return makeGpu(cfg); };
+
+    CheckpointPolicy off;
+    const std::string want = statsBlob(runWithCheckpoints(
+        make, off, fp, std::string(), kWarmup, kMeasure));
+
+    CheckpointPolicy on;
+    on.intervalCycles = 1024;
+    on.dir = ::testing::TempDir();
+    const std::string path = tmpPath("mask_rwc.snap");
+    const GpuStats stats =
+        runWithCheckpoints(make, on, fp, path, kWarmup, kMeasure);
+    EXPECT_EQ(statsBlob(stats), want);
+    EXPECT_GT(stats.ckptWrites, 0u);
+    EXPECT_GT(stats.ckptBytes, 0u);
+    // keep=false: snapshot files are cleaned up on success.
+    std::ifstream left(path);
+    EXPECT_FALSE(static_cast<bool>(left))
+        << "checkpoint not removed after successful run";
+}
+
+TEST(RunWithCheckpoints, ResumesFromKeptCheckpoint)
+{
+    const GpuConfig cfg = configFor(DesignPoint::Mask, false);
+    const std::uint64_t fp = configFingerprint(cfg);
+    const auto make = [&cfg]() { return makeGpu(cfg); };
+    const std::string path = tmpPath("mask_rwc_keep.snap");
+    std::remove(path.c_str());
+
+    CheckpointPolicy keep;
+    keep.intervalCycles = 1024;
+    keep.dir = ::testing::TempDir();
+    keep.keep = true;
+
+    const std::string want = statsBlob(runWithCheckpoints(
+        make, keep, fp, path, kWarmup, kMeasure));
+    // keep=true leaves the newest periodic snapshot behind...
+    const std::uint64_t cycle = snapshotFileCycle(path, fp);
+    EXPECT_GT(cycle, kWarmup);
+    EXPECT_LE(cycle, kWarmup + kMeasure);
+
+    // ...and a re-run warm-starts from it, bit-identically.
+    EXPECT_EQ(statsBlob(runWithCheckpoints(make, keep, fp, path,
+                                           kWarmup, kMeasure)),
+              want);
+
+    // A corrupted checkpoint is rejected and the run falls back to
+    // cycle 0 — same result, no crash.
+    std::string data = readFile(path);
+    data[data.size() - 3] =
+        static_cast<char>(data[data.size() - 3] ^ 0x01);
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(data.data(),
+                  static_cast<std::streamsize>(data.size()));
+    }
+    EXPECT_EQ(statsBlob(runWithCheckpoints(make, keep, fp, path,
+                                           kWarmup, kMeasure)),
+              want);
+
+    std::remove(path.c_str());
+    std::remove((path + ".sig").c_str());
+}
+
+// ---------------------------------------------------------------------
+// MASK_CKPT_* policy plumbing
+// ---------------------------------------------------------------------
+
+/** setenv/unsetenv guard restoring prior values on destruction. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        if (const char *prev = std::getenv(name)) {
+            had_ = true;
+            prev_ = prev;
+        }
+        if (value != nullptr)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
+    }
+
+    ~ScopedEnv()
+    {
+        if (had_)
+            ::setenv(name_.c_str(), prev_.c_str(), 1);
+        else
+            ::unsetenv(name_.c_str());
+    }
+
+  private:
+    std::string name_;
+    std::string prev_;
+    bool had_ = false;
+};
+
+TEST(CheckpointPolicy, FromEnv)
+{
+    {
+        ScopedEnv interval("MASK_CKPT_INTERVAL_CYCLES", nullptr);
+        ScopedEnv dir("MASK_CKPT_DIR", nullptr);
+        ScopedEnv keep("MASK_CKPT_KEEP", nullptr);
+        const CheckpointPolicy policy = checkpointPolicyFromEnv();
+        EXPECT_FALSE(policy.enabled());
+        EXPECT_EQ(policy.dir, ".");
+        EXPECT_FALSE(policy.keep);
+    }
+    {
+        ScopedEnv interval("MASK_CKPT_INTERVAL_CYCLES", "250000");
+        ScopedEnv dir("MASK_CKPT_DIR", "/tmp/ckpts");
+        ScopedEnv keep("MASK_CKPT_KEEP", "1");
+        const CheckpointPolicy policy = checkpointPolicyFromEnv();
+        EXPECT_TRUE(policy.enabled());
+        EXPECT_EQ(policy.intervalCycles, 250000u);
+        EXPECT_EQ(policy.dir, "/tmp/ckpts");
+        EXPECT_TRUE(policy.keep);
+    }
+    {
+        // Garbage interval is ignored, not UB.
+        ScopedEnv interval("MASK_CKPT_INTERVAL_CYCLES", "10k");
+        EXPECT_FALSE(checkpointPolicyFromEnv().enabled());
+    }
+}
+
+TEST(CheckpointPolicy, PathIsDeterministicAndSanitized)
+{
+    CheckpointPolicy policy;
+    policy.dir = "/tmp/snapdir";
+    const std::string path = checkpointPath(
+        policy, 0x1234abcdu, {"3dmm", "weird name/x"}, 5000, 20000);
+    EXPECT_EQ(path, "/tmp/snapdir/ckpt_000000001234abcd_3dmm_"
+                    "weird-name-x_5000_20000.snap");
+    // Same job -> same file, so a rerun after a kill finds it.
+    EXPECT_EQ(path,
+              checkpointPath(policy, 0x1234abcdu,
+                             {"3dmm", "weird name/x"}, 5000, 20000));
+}
+
+// ---------------------------------------------------------------------
+// Emergency snapshots
+// ---------------------------------------------------------------------
+
+TEST(EmergencySnapshot, PublishThenFlushWritesLastImage)
+{
+    const GpuConfig cfg = configFor(DesignPoint::SharedTlb, false);
+    const std::uint64_t fp = configFingerprint(cfg);
+    auto gpu = makeGpu(cfg);
+    gpu->run(1500);
+    const std::string image = renderSnapshot(fp, *gpu);
+
+    const std::string path = tmpPath("mask_emergency.sig");
+    std::remove(path.c_str());
+    {
+        ScopedEmergencySnapshot armed(path);
+        // Nothing published yet: flush is a no-op.
+        flushEmergencySnapshotFromSignal();
+        std::ifstream missing(path);
+        EXPECT_FALSE(static_cast<bool>(missing));
+
+        publishEmergencySnapshot("stale image");
+        publishEmergencySnapshot(image);
+        flushEmergencySnapshotFromSignal();
+        EXPECT_EQ(readFile(path), image)
+            << "flush writes the newest published image";
+    }
+    // The flushed image is a loadable snapshot.
+    auto fresh = makeGpu(cfg);
+    loadSnapshotFile(path, fp, *fresh);
+    EXPECT_EQ(fresh->now(), 1500u);
+    std::remove(path.c_str());
+
+    // Outside the scope the sink is disarmed: publish+flush write
+    // nothing.
+    publishEmergencySnapshot(image);
+    flushEmergencySnapshotFromSignal();
+    std::ifstream after(path);
+    EXPECT_FALSE(static_cast<bool>(after));
+}
+
+TEST(EmergencySnapshot, ScopesNest)
+{
+    const std::string outer_path = tmpPath("mask_emergency_outer.sig");
+    const std::string inner_path = tmpPath("mask_emergency_inner.sig");
+    std::remove(outer_path.c_str());
+    std::remove(inner_path.c_str());
+
+    ScopedEmergencySnapshot outer(outer_path);
+    publishEmergencySnapshot("outer image");
+    {
+        ScopedEmergencySnapshot inner(inner_path);
+        publishEmergencySnapshot("inner image");
+        flushEmergencySnapshotFromSignal();
+        EXPECT_EQ(readFile(inner_path), "inner image");
+    }
+    // Inner scope exit restored the outer path but cleared the ready
+    // buffer (the outer image was published before the inner scope and
+    // may since have been reused): a fresh publish is required.
+    publishEmergencySnapshot("outer image again");
+    flushEmergencySnapshotFromSignal();
+    EXPECT_EQ(readFile(outer_path), "outer image again");
+
+    std::remove(outer_path.c_str());
+    std::remove(inner_path.c_str());
+}
+
+} // namespace
+} // namespace mask
