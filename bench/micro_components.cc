@@ -9,6 +9,7 @@
 
 #include "cache/cache.hh"
 #include "common/rng.hh"
+#include "dram/banked_queue.hh"
 #include "dram/dram.hh"
 #include "sim/gpu.hh"
 #include "tlb/tlb.hh"
@@ -104,6 +105,68 @@ BM_DramChannelTick(benchmark::State &state)
     }
 }
 BENCHMARK(BM_DramChannelTick);
+
+/**
+ * Steady-state FR-FCFS pick on a deep request buffer: pick, service
+ * (row activate on a miss), refill. range(0) selects the indexed pick
+ * vs the reference age-list rescan; range(1) the stream's row
+ * locality (long open-row hit chains vs a new row nearly every
+ * entry). The indexed pick should stay O(banks) regardless of depth
+ * while the reference scan degrades with queue depth x miss rate.
+ */
+void
+BM_SchedPick(benchmark::State &state)
+{
+    const bool reference = state.range(0) != 0;
+    const bool row_local = state.range(1) != 0;
+    constexpr std::uint32_t kBanks = 16;
+    constexpr std::uint32_t kDepth = 256;
+    constexpr std::uint32_t kStarvationCap = 16;
+
+    std::vector<DramBank> banks(kBanks);
+    for (auto &b : banks)
+        b.rowValid = true;
+    BankedRequestQueue queue(kBanks);
+    Rng rng(11);
+    ReqId next_id = 0;
+    const auto makeEntry = [&] {
+        DramQueueEntry e;
+        e.id = next_id++;
+        e.bank = static_cast<std::uint32_t>(rng.below(kBanks));
+        e.row = row_local ? rng.below(2) : rng.below(1u << 20);
+        return e;
+    };
+    for (std::uint32_t i = 0; i < kDepth; ++i)
+        queue.push(makeEntry(), banks);
+
+    Cycle now = 0;
+    std::uint64_t escalations = 0, scanned = 0;
+    for (auto _ : state) {
+        const std::uint32_t node =
+            reference ? queue.pickReference(banks, now, kStarvationCap,
+                                            &escalations, &scanned)
+                      : queue.pick(banks, now, kStarvationCap,
+                                   &escalations, &scanned);
+        if (node != BankedRequestQueue::kNil) {
+            const DramQueueEntry e = queue.take(node);
+            if (banks[e.bank].openRow != e.row) {
+                banks[e.bank].openRow = e.row;
+                queue.onRowChange(e.bank, banks);
+            }
+            queue.push(makeEntry(), banks);
+        }
+        ++now;
+    }
+    state.counters["scanned_per_pick"] = benchmark::Counter(
+        static_cast<double>(scanned) /
+        static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_SchedPick)
+    ->ArgNames({"reference", "rowlocal"})
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({1, 0})
+    ->Args({1, 1});
 
 void
 BM_GpuCycle(benchmark::State &state)

@@ -33,7 +33,13 @@ emit(const char *label, DesignPoint point,
                 " \"skip_fraction\": %.3f,"
                 " \"ckpt_writes\": %llu, \"ckpt_bytes\": %llu,"
                 " \"ckpt_write_seconds\": %.4f,"
-                " \"ckpt_overhead\": %.4f}\n",
+                " \"ckpt_overhead\": %.4f,"
+                " \"sched_picks\": %llu,"
+                " \"sched_banks_scanned\": %llu,"
+                " \"scanned_per_pick\": %.3f,"
+                " \"picks_per_cycle\": %.4f,"
+                " \"data_retry_probes\": %llu,"
+                " \"tlb_retry_probes\": %llu",
                 label, designPointName(point), benches.size(),
                 static_cast<unsigned long long>(stats.cycles),
                 stats.wallSeconds, stats.megaCyclesPerSec(),
@@ -47,7 +53,27 @@ emit(const char *label, DesignPoint point,
                 static_cast<unsigned long long>(stats.ckptBytes),
                 stats.ckptWriteSeconds,
                 checkpointOverhead(stats.ckptWriteSeconds,
-                                   stats.wallSeconds));
+                                   stats.wallSeconds),
+                static_cast<unsigned long long>(stats.dramSchedPicks),
+                static_cast<unsigned long long>(
+                    stats.dramSchedBanksScanned),
+                safeDiv(static_cast<double>(stats.dramSchedBanksScanned),
+                        static_cast<double>(stats.dramSchedPicks)),
+                safeDiv(static_cast<double>(stats.dramSchedPicks),
+                        static_cast<double>(stats.cycles)),
+                static_cast<unsigned long long>(stats.dataRetryProbes),
+                static_cast<unsigned long long>(stats.tlbRetryProbes));
+    // MASK_PROFILE_STAGES=1: per-stage wall-clock seconds (host-side,
+    // observation-only).
+    if (!stats.stageSeconds.empty()) {
+        std::printf(", \"stage_seconds\": {");
+        for (std::size_t i = 0; i < stats.stageSeconds.size(); ++i) {
+            std::printf("%s\"%s\": %.4f", i == 0 ? "" : ", ",
+                        Gpu::stageName(i), stats.stageSeconds[i]);
+        }
+        std::printf("}");
+    }
+    std::printf("}\n");
 }
 
 /**

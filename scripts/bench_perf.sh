@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
 # Host-side simulator throughput report -> BENCH_throughput.json.
 #
-# Two sections:
+# Three sections:
+#   "host": nproc and CPU model of the machine that produced the
+#     numbers (throughput is host-dependent; the CI regression gate
+#     uses only the deterministic work counters, see
+#     scripts/check_sched_work.sh).
 #   "throughput": per-configuration mega-cycles/sec and requests/sec
 #     from bench/perf_throughput (single-threaded hot-path speed).
 #     The "pair-mask-ckpt" case runs with periodic checkpointing
@@ -30,6 +34,16 @@ for bin in "$PERF_BIN" "$FIG11_BIN"; do
 done
 
 JOBS="$(nproc 2>/dev/null || echo 1)"
+
+# Host identity: throughput numbers are host-dependent, so the report
+# records what produced them (the CI gate compares only deterministic
+# work counters, never these wall-clock figures).
+CPU_MODEL="$(awk -F': *' '/^model name/ { print $2; exit }' /proc/cpuinfo 2>/dev/null || true)"
+if [ -z "$CPU_MODEL" ]; then
+    CPU_MODEL="$(uname -m)"
+fi
+# Escape for JSON embedding (quotes and backslashes).
+CPU_MODEL="$(printf '%s' "$CPU_MODEL" | sed 's/\\/\\\\/g; s/"/\\"/g')"
 
 now_secs() { date +%s.%N; }
 
@@ -67,6 +81,10 @@ fi
 
 {
     echo "{"
+    echo "  \"host\": {"
+    echo "    \"nproc\": $JOBS,"
+    echo "    \"cpu_model\": \"$CPU_MODEL\""
+    echo "  },"
     echo "  \"throughput\": ["
     echo "$PERF_LINES" | sed 's/^/    /; $!s/$/,/'
     echo "  ],"

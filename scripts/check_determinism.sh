@@ -155,3 +155,30 @@ if ! diff -u "$out_a" "$out_b"; then
     exit 1
 fi
 echo "deterministic: checkpoint+journal resume byte-identical to uninterrupted run"
+
+# The per-stage profiler (DESIGN.md §12) is observation-only: timing
+# the stages must not change a single simulated byte. Stage seconds go
+# to stderr/JSON wall fields only, never into the stats stream diffed
+# here.
+echo "== run 9 (per-stage profiler enabled) =="
+MASK_BENCH_FAST=1 MASK_BENCH_PAIRS=4 MASK_BENCH_JOBS=1 \
+    MASK_PROFILE_STAGES=1 "$BIN" >"$out_b" 2>/dev/null
+
+if ! diff -u "$out_a" "$out_b"; then
+    echo "DETERMINISM FAILURE: stage profiler perturbed simulated output" >&2
+    exit 1
+fi
+echo "deterministic: MASK_PROFILE_STAGES=1 byte-identical to profiler-off"
+
+# The incrementally-indexed scheduler (DESIGN.md §12) must pick the
+# same requests as the reference rescanning implementation: forcing
+# the O(banks) reference path may not change a single byte.
+echo "== run 10 (reference rescanning scheduler) =="
+MASK_BENCH_FAST=1 MASK_BENCH_PAIRS=4 MASK_BENCH_JOBS=1 \
+    MASK_SCHED_REFERENCE=1 "$BIN" >"$out_b" 2>/dev/null
+
+if ! diff -u "$out_a" "$out_b"; then
+    echo "DETERMINISM FAILURE: indexed scheduler diverged from reference rescan" >&2
+    exit 1
+fi
+echo "deterministic: MASK_SCHED_REFERENCE=1 byte-identical to indexed scheduler"

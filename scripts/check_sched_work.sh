@@ -1,0 +1,111 @@
+#!/usr/bin/env bash
+# Host-independent perf regression gate on the memory-scheduler work
+# counters (DESIGN.md §12).
+#
+# Wall-clock throughput depends on the CI machine, so this gate checks
+# the *deterministic* work counters instead: scheduler picks, bank
+# slots scanned per pick, and the retry probes the indexed wake paths
+# actually executed. All of them are exact functions of the simulated
+# workload, so on an unchanged simulator they reproduce bit-for-bit on
+# any host. The gate fails when
+#
+#   - cycles or requests differ from the baseline at all (that is a
+#     simulation-result change, not a perf change and must be reviewed
+#     via the determinism gate and baselines regenerated on purpose);
+#   - a work counter grew more than ALLOWED_GROWTH (default 5%) over
+#     the committed baseline: the hot path got algorithmically more
+#     expensive even if the CI host is too noisy to show it in seconds.
+#
+# Shrinking counters only print a note; commit a regenerated baseline
+# (scripts/check_sched_work.sh --update) to lock in the improvement.
+#
+#   scripts/check_sched_work.sh [--update]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=scripts/sched_work_baseline.json
+PERF_BIN=build/bench/perf_throughput
+ALLOWED_GROWTH="${ALLOWED_GROWTH:-1.05}"
+
+if [ ! -x "$PERF_BIN" ]; then
+    echo "error: $PERF_BIN not built (cmake --build build)" >&2
+    exit 2
+fi
+
+# Fixed fast configuration: small enough for CI, saturated enough that
+# the retry/scheduler paths do real work.
+run_counters() {
+    MASK_BENCH_FAST=1 MASK_BENCH_PAIRS=4 MASK_BENCH_JOBS=1 \
+        "$PERF_BIN" 2>/dev/null
+}
+
+if [ "${1:-}" = "--update" ]; then
+    run_counters | python3 -c '
+import json, sys
+cases = {}
+for line in sys.stdin:
+    d = json.loads(line)
+    cases[d["case"]] = {
+        k: d[k]
+        for k in ("cycles", "requests", "sched_picks",
+                  "sched_banks_scanned", "data_retry_probes",
+                  "tlb_retry_probes")
+    }
+print(json.dumps(cases, indent=2, sort_keys=True))
+' >"$BASELINE"
+    echo "wrote $BASELINE"
+    exit 0
+fi
+
+if [ ! -f "$BASELINE" ]; then
+    echo "error: $BASELINE missing (run with --update and commit it)" >&2
+    exit 2
+fi
+
+CUR="$(mktemp)"
+trap 'rm -f "$CUR"' EXIT
+run_counters >"$CUR"
+
+python3 - "$BASELINE" "$ALLOWED_GROWTH" "$CUR" <<'EOF'
+import json, sys
+
+baseline = json.load(open(sys.argv[1]))
+allowed = float(sys.argv[2])
+sys.stdin = open(sys.argv[3])
+exact_keys = ("cycles", "requests")
+work_keys = ("sched_picks", "sched_banks_scanned",
+             "data_retry_probes", "tlb_retry_probes")
+
+failed = False
+seen = set()
+for line in sys.stdin:
+    d = json.loads(line)
+    case = d["case"]
+    seen.add(case)
+    base = baseline.get(case)
+    if base is None:
+        print("NEW case %r (no baseline; run --update)" % case)
+        failed = True
+        continue
+    for k in exact_keys:
+        if d[k] != base[k]:
+            print("FAIL %s.%s: %d != baseline %d "
+                  "(simulation result changed)" % (case, k, d[k], base[k]))
+            failed = True
+    for k in work_keys:
+        cur, ref = d[k], base[k]
+        if cur > ref * allowed and cur > ref + 16:
+            print("FAIL %s.%s: %d > %.0f (baseline %d x %.2f)"
+                  % (case, k, cur, ref * allowed, ref, allowed))
+            failed = True
+        elif cur != ref:
+            print("note %s.%s: %d (baseline %d)" % (case, k, cur, ref))
+        else:
+            print("ok   %s.%s: %d" % (case, k, cur))
+missing = set(baseline) - seen
+if missing:
+    print("FAIL missing cases: %s" % ", ".join(sorted(missing)))
+    failed = True
+sys.exit(1 if failed else 0)
+EOF
+echo "scheduler work counters within baseline"

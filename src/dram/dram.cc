@@ -1,6 +1,7 @@
 #include "dram/dram.hh"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/check.hh"
 
@@ -15,6 +16,14 @@ log2u(std::uint32_t x)
     while ((1u << bits) < x)
         ++bits;
     return bits;
+}
+
+/** MASK_SCHED_REFERENCE=1 re-enables the original rescan picks. */
+bool
+schedReferenceByEnv()
+{
+    const char *env = std::getenv("MASK_SCHED_REFERENCE");
+    return env != nullptr && env[0] == '1';
 }
 
 } // namespace
@@ -90,7 +99,10 @@ DramChannel::DramChannel(const DramConfig &cfg,
       maskCfg_(mask_cfg),
       mode_(mode),
       numApps_(num_apps == 0 ? 1 : num_apps),
-      banks_(cfg.banksPerChannel)
+      reference_(schedReferenceByEnv()),
+      banks_(cfg.banksPerChannel),
+      silver_(cfg.banksPerChannel),
+      normal_(cfg.banksPerChannel)
 {
     silverCredits_ = maskCfg_.threshMax / numApps_;
 }
@@ -114,18 +126,6 @@ DramChannel::canEnqueue(const MemRequest &req) const
     return normal_.size() < maskCfg_.normalQueueEntries;
 }
 
-std::vector<DramQueueEntry> &
-DramChannel::routeData(AppId app)
-{
-    if (mode_ == DramSchedMode::MaskQueues && app == silverApp_ &&
-        silverCredits_ > 0 &&
-        silver_.size() < maskCfg_.silverQueueEntries) {
-        --silverCredits_;
-        return silver_;
-    }
-    return normal_;
-}
-
 void
 DramChannel::enqueue(ReqId id, MemRequest &req, const DramCoord &coord,
                      Cycle now)
@@ -147,8 +147,15 @@ DramChannel::enqueue(ReqId id, MemRequest &req, const DramCoord &coord,
     if (mode_ == DramSchedMode::MaskQueues &&
         req.type == ReqType::Translation) {
         golden_.push_back(entry);
+    } else if (mode_ == DramSchedMode::MaskQueues &&
+               req.app == silverApp_ && silverCredits_ > 0 &&
+               silver_.size() < maskCfg_.silverQueueEntries) {
+        // Section 5.4 routing: the silver app spends a credit per
+        // enqueued request until its quota is gone.
+        --silverCredits_;
+        silver_.push(entry, banks_);
     } else {
-        routeData(req.app).push_back(entry);
+        normal_.push(entry, banks_);
     }
 }
 
@@ -168,18 +175,11 @@ DramChannel::rotateSilverTurn()
 bool
 DramChannel::hasPendingRowHit(std::uint32_t bank_idx) const
 {
-    const DramBank &bank = banks_[bank_idx];
-    if (!bank.rowValid)
-        return false;
-    for (const auto &entry : silver_) {
-        if (entry.bank == bank_idx && entry.row == bank.openRow)
-            return true;
+    if (reference_) {
+        return silver_.hasRowHitReference(bank_idx, banks_) ||
+               normal_.hasRowHitReference(bank_idx, banks_);
     }
-    for (const auto &entry : normal_) {
-        if (entry.bank == bank_idx && entry.row == bank.openRow)
-            return true;
-    }
-    return false;
+    return silver_.hasRowHit(bank_idx) || normal_.hasRowHit(bank_idx);
 }
 
 void
@@ -211,13 +211,12 @@ DramChannel::onEpoch()
 }
 
 void
-DramChannel::service(std::vector<DramQueueEntry> &queue,
-                     std::size_t idx, Cycle now, RequestPool &pool)
+DramChannel::serviceEntry(const DramQueueEntry &entry, Cycle now,
+                          RequestPool &pool)
 {
-    const DramQueueEntry entry = queue[idx];
-    queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(idx));
-
     DramBank &bank = banks_[entry.bank];
+    const bool was_valid = bank.rowValid;
+    const std::uint64_t old_row = bank.openRow;
     std::uint32_t latency;
     std::uint32_t bank_busy;
     if (bank.rowValid && bank.openRow == entry.row) {
@@ -249,6 +248,34 @@ DramChannel::service(std::vector<DramQueueEntry> &queue,
     (void)pool;
 
     inService_.push(Completion{done, entry.id});
+
+    // An activate invalidated the bank's row-hit chains; rebuild them
+    // from its FIFO lists (amortized against the row change itself).
+    if (!was_valid || old_row != entry.row) {
+        silver_.onRowChange(entry.bank, banks_);
+        normal_.onRowChange(entry.bank, banks_);
+    }
+}
+
+void
+DramChannel::serviceNode(BankedRequestQueue &queue, std::uint32_t node,
+                         Cycle now, RequestPool &pool)
+{
+    const DramQueueEntry entry = queue.take(node);
+    serviceEntry(entry, now, pool);
+}
+
+std::uint32_t
+DramChannel::pickFrom(BankedRequestQueue &queue, Cycle now)
+{
+    ++schedPicks_;
+    if (reference_) {
+        return queue.pickReference(banks_, now, cfg_.starvationCap,
+                                   &stats_.capEscalations,
+                                   &schedScanned_);
+    }
+    return queue.pick(banks_, now, cfg_.starvationCap,
+                      &stats_.capEscalations, &schedScanned_);
 }
 
 void
@@ -282,7 +309,10 @@ DramChannel::tick(Cycle now, RequestPool &pool)
                 hasPendingRowHit(entry.bank)) {
                 continue;
             }
-            service(golden_, i, now, pool);
+            const DramQueueEntry picked = entry;
+            golden_.erase(golden_.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+            serviceEntry(picked, now, pool);
             return;
         }
     }
@@ -293,32 +323,26 @@ DramChannel::tick(Cycle now, RequestPool &pool)
         if (silverCredits_ == 0 && silver_.empty())
             rotateSilverTurn();
 
-        const int pick = frFcfsPick(silver_, banks_, now,
-                                    cfg_.starvationCap,
-                                    &stats_.capEscalations);
-        if (pick >= 0) {
+        const std::uint32_t pick = pickFrom(silver_, now);
+        if (pick != BankedRequestQueue::kNil) {
             // Bandwidth guard: a silver row-conflict defers briefly
             // to pending data row hits (same rationale as golden).
-            DramQueueEntry &entry =
-                silver_[static_cast<std::size_t>(pick)];
+            const DramQueueEntry &entry = silver_.entry(pick);
             const DramBank &bank = banks_[entry.bank];
             const bool row_conflict =
                 bank.rowValid && bank.openRow != entry.row;
             if (!row_conflict ||
                 now >= entry.enqueueCycle + maskCfg_.silverMaxDelay ||
                 !hasPendingRowHit(entry.bank)) {
-                service(silver_, static_cast<std::size_t>(pick), now,
-                        pool);
+                serviceNode(silver_, pick, now, pool);
                 return;
             }
         }
     }
 
-    const int pick = frFcfsPick(normal_, banks_, now,
-                                cfg_.starvationCap,
-                                &stats_.capEscalations);
-    if (pick >= 0)
-        service(normal_, static_cast<std::size_t>(pick), now, pool);
+    const std::uint32_t pick = pickFrom(normal_, now);
+    if (pick != BankedRequestQueue::kNil)
+        serviceNode(normal_, pick, now, pool);
 }
 
 Cycle
@@ -355,14 +379,22 @@ DramChannel::nextEventCycle(Cycle now) const
     if (wake <= now)
         return now;
     next = std::min(next, wake);
-    wake = frFcfsNextWake(silver_, banks_, now);
+    wake = silver_.nextWake(banks_, now);
     if (wake <= now)
         return now;
     next = std::min(next, wake);
-    wake = frFcfsNextWake(normal_, banks_, now);
+    wake = normal_.nextWake(banks_, now);
     if (wake <= now)
         return now;
     return std::min(next, wake);
+}
+
+void
+DramChannel::resetStats()
+{
+    stats_.reset();
+    schedPicks_ = 0;
+    schedScanned_ = 0;
 }
 
 // ---------------------------------------------------------------------
@@ -404,6 +436,10 @@ void
 Dram::tick(Cycle now, RequestPool &pool)
 {
     for (auto &channel : channels_) {
+        // Idle channels with no pending silver rotation have nothing
+        // to retire, schedule, or drain: their tick is a no-op.
+        if (!channel.busy() && !channel.rotationPending())
+            continue;
         channel.tick(now, pool);
         auto &done = channel.completed();
         while (!done.empty()) {
@@ -469,6 +505,24 @@ Dram::resetStats()
         channel.resetStats();
 }
 
+std::uint64_t
+Dram::schedPicks() const
+{
+    std::uint64_t total = 0;
+    for (const auto &channel : channels_)
+        total += channel.schedPicks();
+    return total;
+}
+
+std::uint64_t
+Dram::schedUnitsScanned() const
+{
+    std::uint64_t total = 0;
+    for (const auto &channel : channels_)
+        total += channel.schedUnitsScanned();
+    return total;
+}
+
 namespace {
 
 /**
@@ -524,8 +578,10 @@ DramChannel::serialize(StateWriter &w) const
     for (const DramBank &bank : banks_)
         bank.serialize(w);
     putQueue(w, golden_);
-    putQueue(w, silver_);
-    putQueue(w, normal_);
+    // Age-ordered entries only: byte-identical to the flat vectors
+    // these queues replaced. Index links are rebuilt on restore.
+    silver_.serialize(w);
+    normal_.serialize(w);
     w.u(silverApp_);
     w.u(silverCredits_);
     w.u(busFreeAt_);
@@ -549,8 +605,10 @@ DramChannel::deserialize(StateReader &r)
     for (DramBank &bank : banks_)
         bank.deserialize(r);
     getQueue(r, golden_);
-    getQueue(r, silver_);
-    getQueue(r, normal_);
+    // Banks are restored above, so replaying pushes rebuilds the
+    // row-hit chains exactly as the live run had them.
+    silver_.deserialize(r, banks_);
+    normal_.deserialize(r, banks_);
     silverApp_ = static_cast<AppId>(r.u());
     silverCredits_ = static_cast<std::uint32_t>(r.u());
     busFreeAt_ = r.u();

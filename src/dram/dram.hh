@@ -4,6 +4,13 @@
  * buffer state and timing, an FR-FCFS scheduler, and the three-queue
  * (Golden/Silver/Normal) organization used by MASK's Address-Space-
  * Aware DRAM Scheduler (paper Section 5.4).
+ *
+ * Silver and Normal queues are BankedRequestQueue instances
+ * (DESIGN.md §12): per-bank FIFO and open-row hit chains maintained
+ * incrementally, so each per-cycle pick costs O(banks) instead of
+ * O(queued requests). MASK_SCHED_REFERENCE=1 switches every pick back
+ * to the original age-list rescan over the same storage, which the
+ * determinism gate uses to prove the indices observationally inert.
  */
 
 #ifndef MASK_DRAM_DRAM_HH
@@ -18,6 +25,7 @@
 #include "common/memreq.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "dram/banked_queue.hh"
 
 namespace mask {
 
@@ -74,66 +82,6 @@ class SilverQuotaProvider
 enum class DramSchedMode : std::uint8_t {
     FrFcfs,     //!< single request buffer, FR-FCFS (baselines)
     MaskQueues, //!< Golden/Silver/Normal queues (MASK, Section 5.4)
-};
-
-/** Row-buffer and busy state of one DRAM bank. */
-struct DramBank
-{
-    std::uint64_t openRow = 0;
-    bool rowValid = false;
-    Cycle readyAt = 0;
-
-    void
-    serialize(StateWriter &w) const
-    {
-        w.u(openRow);
-        w.b(rowValid);
-        w.u(readyAt);
-    }
-
-    void
-    deserialize(StateReader &r)
-    {
-        openRow = r.u();
-        rowValid = r.b();
-        readyAt = r.u();
-    }
-};
-
-/** An entry in a channel request buffer. */
-struct DramQueueEntry
-{
-    ReqId id = kInvalidReq;
-    std::uint32_t bank = 0;
-    std::uint64_t row = 0;
-    AppId app = 0;
-    ReqType type = ReqType::Data;
-    Cycle enqueueCycle = 0;
-    std::uint32_t bypassed = 0; //!< times skipped by younger row hits
-
-    void
-    serialize(StateWriter &w) const
-    {
-        w.u(id);
-        w.u(bank);
-        w.u(row);
-        w.u(app);
-        w.u(static_cast<std::uint64_t>(type));
-        w.u(enqueueCycle);
-        w.u(bypassed);
-    }
-
-    void
-    deserialize(StateReader &r)
-    {
-        id = static_cast<ReqId>(r.u());
-        bank = static_cast<std::uint32_t>(r.u());
-        row = r.u();
-        app = static_cast<AppId>(r.u());
-        type = static_cast<ReqType>(r.u());
-        enqueueCycle = r.u();
-        bypassed = static_cast<std::uint32_t>(r.u());
-    }
 };
 
 /** Statistics kept per channel, split by request type where relevant. */
@@ -220,7 +168,7 @@ class DramChannel
      * Returns @p now itself whenever any queued request's bank is
      * already ready while the bus is free — that pins the conservative
      * cases (bandwidth-guard deferrals, starvation-cap bookkeeping in
-     * frFcfsPick) to per-cycle stepping, since every such path
+     * the FR-FCFS pick) to per-cycle stepping, since every such path
      * requires a ready bank. kNeverCycle when nothing is pending.
      */
     Cycle nextEventCycle(Cycle now) const;
@@ -235,7 +183,7 @@ class DramChannel
     std::deque<ReqId> &completed() { return completed_; }
 
     const DramChannelStats &stats() const { return stats_; }
-    void resetStats() { stats_.reset(); }
+    void resetStats();
     void noteReject() { ++stats_.enqueueRejects; }
 
     std::size_t queuedRequests() const
@@ -250,11 +198,30 @@ class DramChannel
                !completed_.empty();
     }
 
+    /**
+     * True when the next bus-free tick() would rotate the silver turn
+     * even with nothing queued (quota exhausted, Silver Queue
+     * drained). Lets Dram::tick skip otherwise-idle channels.
+     */
+    bool rotationPending() const
+    {
+        return mode_ == DramSchedMode::MaskQueues &&
+               silverCredits_ == 0 && silver_.empty();
+    }
+
     /** Queue introspection for tests. */
     std::size_t goldenSize() const { return golden_.size(); }
     std::size_t silverSize() const { return silver_.size(); }
     std::size_t normalSize() const { return normal_.size(); }
     AppId silverApp() const { return silverApp_; }
+
+    /** Host-side scheduler work counters (never serialized): picks
+     *  attempted and index units examined across them. In indexed mode
+     *  a unit is an occupied bank; under MASK_SCHED_REFERENCE=1 it is
+     *  a queue entry, so the ratio exposes exactly what the indices
+     *  save. */
+    std::uint64_t schedPicks() const { return schedPicks_; }
+    std::uint64_t schedUnitsScanned() const { return schedScanned_; }
 
     /**
      * Watchdog hook: throw SimInvariantError if any queue exceeds its
@@ -267,7 +234,10 @@ class DramChannel
      * Snapshot queues, banks, and in-flight completions. The
      * completion heap's physical array is serialized verbatim:
      * completions that tie on `at` pop in heap-layout order, so the
-     * layout itself is semantic state.
+     * layout itself is semantic state. Silver/Normal index links are
+     * derived state: only the age-ordered entries are written (the
+     * same bytes as the flat vectors they replaced), and restore
+     * rebuilds the links against the already-restored bank state.
      */
     void serialize(StateWriter &w) const;
     void deserialize(StateReader &r);
@@ -282,25 +252,28 @@ class DramChannel
     };
 
   private:
-    /** Route a data request to silver or normal per Section 5.4. */
-    std::vector<DramQueueEntry> &routeData(AppId app);
-
     /** Any queued data request that hits @p bank_idx's open row? */
     bool hasPendingRowHit(std::uint32_t bank_idx) const;
 
-    void service(std::vector<DramQueueEntry> &queue, std::size_t idx,
-                 Cycle now, RequestPool &pool);
+    /** FR-FCFS pick on @p queue honoring MASK_SCHED_REFERENCE. */
+    std::uint32_t pickFrom(BankedRequestQueue &queue, Cycle now);
+
+    void serviceEntry(const DramQueueEntry &entry, Cycle now,
+                      RequestPool &pool);
+    void serviceNode(BankedRequestQueue &queue, std::uint32_t node,
+                     Cycle now, RequestPool &pool);
     void rotateSilverTurn();
 
     DramConfig cfg_;
     MaskConfig maskCfg_;
     DramSchedMode mode_;
     std::uint32_t numApps_;
+    bool reference_; //!< MASK_SCHED_REFERENCE=1: rescan picks
 
     std::vector<DramBank> banks_;
     std::vector<DramQueueEntry> golden_; //!< FIFO, translation only
-    std::vector<DramQueueEntry> silver_;
-    std::vector<DramQueueEntry> normal_;
+    BankedRequestQueue silver_;
+    BankedRequestQueue normal_;
 
     const SilverQuotaProvider *quotaProvider_ = nullptr;
     AppId silverApp_ = 0;
@@ -312,6 +285,9 @@ class DramChannel
         inService_;
     std::deque<ReqId> completed_;
     DramChannelStats stats_;
+
+    std::uint64_t schedPicks_ = 0;   //!< host observability only
+    std::uint64_t schedScanned_ = 0; //!< host observability only
 };
 
 /** The full DRAM subsystem: mapper + channels. */
@@ -370,6 +346,10 @@ class Dram
     DramChannelStats aggregateStats() const;
     void resetStats();
 
+    /** Scheduler work counters summed over channels (host-side). */
+    std::uint64_t schedPicks() const;
+    std::uint64_t schedUnitsScanned() const;
+
     void serialize(StateWriter &w) const;
     void deserialize(StateReader &r);
 
@@ -387,6 +367,10 @@ class Dram
  * @p starvation_cap times (Section 6 baseline policy). Each forced
  * pick increments @p cap_escalations when the caller provides it, so
  * the cap's effect is observable in stats.
+ *
+ * This is the reference rescan over a flat vector; the channel hot
+ * path uses BankedRequestQueue::pick, which must agree with it (see
+ * tests/test_sched_index.cc).
  */
 int frFcfsPick(std::vector<DramQueueEntry> &queue,
                const std::vector<DramBank> &banks, Cycle now,

@@ -19,6 +19,14 @@ cycleSkipDisabledByEnv()
     return env != nullptr && env[0] == '1';
 }
 
+/** MASK_PROFILE_STAGES=1 turns on the per-stage wall-clock profiler. */
+bool
+profileStagesByEnv()
+{
+    const char *env = std::getenv("MASK_PROFILE_STAGES");
+    return env != nullptr && env[0] == '1';
+}
+
 /** Validate before any member construction touches derived quantities
  *  (e.g. numSets() divides by lineBytes); cfg_ is the first member. */
 const GpuConfig &
@@ -41,6 +49,17 @@ warpsPerApp(const GpuConfig &cfg, std::size_t num_apps)
 }
 
 } // namespace
+
+const char *
+Gpu::stageName(std::size_t id)
+{
+    static const char *const names[kNumStages] = {
+        "faults",   "dram",  "l2cache",  "pwcache",
+        "l2tlb",    "walker", "cores",   "samplers",
+        "epoch",    "switches", "watchdog",
+    };
+    return id < kNumStages ? names[id] : "?";
+}
 
 double
 GpuStats::megaCyclesPerSec() const
@@ -99,6 +118,10 @@ Gpu::Gpu(const GpuConfig &cfg, const std::vector<AppDesc> &apps)
     l2Input_.resize(cfg_.l2.banks);
     coreTransWaiters_.resize(cfg_.numCores);
     coreDataWake_.resize(cfg_.numCores, 0);
+    dataRetryByCore_.resize(cfg_.numCores);
+    coreFilledKeys_.resize(cfg_.numCores);
+    dataMergeKeys_.resize(cfg_.numCores);
+    profileStages_ = profileStagesByEnv();
     dramRetryFull_.resize(static_cast<std::size_t>(
         dram_.numChannels() * 2 * apps.size()));
 
@@ -308,11 +331,17 @@ Gpu::skipTo(Cycle target)
     // Parked MSHR-full data accesses: the per-cycle retry pass counts
     // one L1 miss probe and one MSHR rejection per parked entry per
     // cycle (their outcome is pinned until a response arrives, so the
-    // counts are exact).
-    for (const DataRetry &retry : dataRetry_) {
-        ShaderCore &core = *cores_[retry.access.core];
-        core.l1dStats().misses += skipped;
-        core.l1Mshr().addRejections(skipped);
+    // counts are exact; per-core sharding turns them into one closed
+    // form per occupied core).
+    if (dataRetryCount_ > 0) {
+        for (CoreId c = 0; c < cores_.size(); ++c) {
+            const std::size_t n = dataRetryByCore_[c].size();
+            if (n == 0)
+                continue;
+            ShaderCore &core = *cores_[c];
+            core.l1dStats().misses += n * skipped;
+            core.l1Mshr().addRejections(n * skipped);
+        }
     }
     if (cfg_.mask.dramSched) {
         for (AppId a = 0; a < apps_.size(); ++a) {
@@ -340,30 +369,30 @@ Gpu::tickOne()
     // have scanned banks/queues to discover the same emptiness. The
     // fault-injection stages are exempt (their RNG draws are part of
     // the deterministic fault schedule).
-    stageFaults();
+    stageTimed(kStageFaults, [this] { stageFaults(); });
     if (dram_.busy() || !dramRetry_.empty())
-        stageDram();
+        stageTimed(kStageDram, [this] { stageDram(); });
     if (l2Work_ > 0)
-        stageL2Cache();
+        stageTimed(kStageL2Cache, [this] { stageL2Cache(); });
     if (cfg_.design == TranslationDesign::PwCache &&
         (!pwInput_.empty() || pwCachePipe_.inFlight() > 0)) {
-        stagePwCache();
+        stageTimed(kStagePwCache, [this] { stagePwCache(); });
     }
     if (cfg_.design == TranslationDesign::SharedTlb &&
         (faults_.enabled() || !l2TlbInput_.empty() ||
          l2TlbPipe_.inFlight() > 0)) {
-        stageL2Tlb();
+        stageTimed(kStageL2Tlb, [this] { stageL2Tlb(); });
     }
     if (!tlbMissRetry_.empty() || !walkStartQueue_.empty() ||
         walker_.hasPendingFetch()) {
-        stageWalker();
+        stageTimed(kStageWalker, [this] { stageWalker(); });
     }
-    stageCores();
-    stageSamplers();
-    stageEpoch();
+    stageTimed(kStageCores, [this] { stageCores(); });
+    stageTimed(kStageSamplers, [this] { stageSamplers(); });
+    stageTimed(kStageEpoch, [this] { stageEpoch(); });
     if (switchesInFlight_ > 0)
-        stageSwitches();
-    stageWatchdog();
+        stageTimed(kStageSwitches, [this] { stageSwitches(); });
+    stageTimed(kStageWatchdog, [this] { stageWatchdog(); });
     ++now_;
 }
 
@@ -534,9 +563,14 @@ Gpu::respondUp(ReqId id)
         const std::uint64_t key = l2CacheKey(req.paddr);
         // This response is the only event that can change the outcome
         // of this core's parked MSHR-full accesses (L1 fill or MSHR
-        // entry freed); wake them for this cycle's retry pass.
+        // entry freed); wake them for this cycle's retry pass. The
+        // filled key is the only line a parked entry can newly hit
+        // on, and the completed MSHR entry can no longer be merged
+        // into (the retry pass probes by key, DESIGN.md §12).
         coreDataWake_[req.core] = 1;
         anyCoreDataWake_ = true;
+        coreFilledKeys_[req.core].push_back(key);
+        dataMergeKeys_[req.core].erase(key);
         core.l1d().fill(key);
         std::vector<ReqId> warps = core.l1Mshr().complete(key);
         for (const ReqId warp : warps)
@@ -557,6 +591,10 @@ Gpu::stageL2Cache()
 {
     for (std::uint32_t b = 0; b < l2Pipe_.numBanks(); ++b) {
         LatencyPipe &bank = l2Pipe_.bank(b);
+        // Quiescent bank: nothing in flight to drain, nothing queued
+        // to accept (l2Work_ > 0 only says *some* bank has work).
+        if (bank.inFlight() == 0 && l2Input_[b].empty())
+            continue;
         while (bank.hasReady(now_)) {
             --l2Work_;
             l2LookupDone(static_cast<ReqId>(bank.pop()));
@@ -738,6 +776,11 @@ Gpu::tlbMissToWalker(std::uint32_t slot)
     TransSlot &s = transSlots_[slot];
     switch (tlbMshr_.allocate(s.asid, s.vpn, s.app, s.access, now_)) {
       case TlbMshrTable::Outcome::Allocated:
+        // The key just became present: parked slots waiting on the
+        // same translation can now merge.
+        if (const std::uint32_t *parked =
+                parkedTransKeys_.find(tlbKey(s.asid, s.vpn)))
+            parkedMergeEligible_ += *parked;
         if (walker_.hasCapacity())
             startWalkFor(s.asid, s.vpn, s.app);
         else
@@ -748,9 +791,37 @@ Gpu::tlbMissToWalker(std::uint32_t slot)
         freeTransSlot(slot);
         break;
       case TlbMshrTable::Outcome::Full:
-        tlbMissRetry_.push_back(slot);
+        parkTransSlot(slot);
         break;
     }
+}
+
+void
+Gpu::parkTransSlot(std::uint32_t slot)
+{
+    const TransSlot &s = transSlots_[slot];
+    const std::uint64_t key = tlbKey(s.asid, s.vpn);
+    if (std::uint32_t *parked = parkedTransKeys_.find(key))
+        ++*parked;
+    else
+        parkedTransKeys_.insert(key, 1);
+    // A Full outcome implies the key is absent (present keys merge),
+    // so a freshly parked slot is never merge-eligible.
+    tlbMissRetry_.push_back(slot);
+}
+
+void
+Gpu::unparkTransSlot(std::uint32_t slot)
+{
+    const TransSlot &s = transSlots_[slot];
+    const std::uint64_t key = tlbKey(s.asid, s.vpn);
+    std::uint32_t *parked = parkedTransKeys_.find(key);
+    SIM_CHECK(parked != nullptr && *parked > 0, "sim.gpu", now_,
+              "unparked a translation slot with no parked-key entry");
+    if (--*parked == 0)
+        parkedTransKeys_.erase(key);
+    if (tlbMshr_.has(s.asid, s.vpn))
+        --parkedMergeEligible_;
 }
 
 // ---------------------------------------------------------------------
@@ -773,12 +844,35 @@ Gpu::stageWalker()
     // Retry MSHR-full translation misses, but only on cycles where a
     // walk completion freed an entry: between completions the table
     // stays full and gains no keys (allocation needs space), so every
-    // probe would return Full without touching any state.
+    // probe would return Full without touching any state. Within a
+    // wake pass, probe only slots that can make progress: an allocate
+    // needs free capacity and a merge needs the slot's key present in
+    // the table, both O(1) tests against parkedTransKeys_ /
+    // parkedMergeEligible_. Slots whose probe would provably return
+    // Full rotate back unprobed, preserving FIFO order exactly.
     if (tlbRetryWake_) {
         tlbRetryWake_ = false;
         for (std::size_t n = tlbMissRetry_.size(); n > 0; --n) {
+            if (tlbMshr_.size() >= tlbMshr_.capacity() &&
+                parkedMergeEligible_ == 0) {
+                // No remaining probe can succeed: rotate the rest so
+                // the deque ends up as a full pass would leave it.
+                for (; n > 0; --n) {
+                    tlbMissRetry_.push_back(tlbMissRetry_.front());
+                    tlbMissRetry_.pop_front();
+                }
+                break;
+            }
             const std::uint32_t slot = tlbMissRetry_.front();
             tlbMissRetry_.pop_front();
+            const TransSlot &s = transSlots_[slot];
+            if (tlbMshr_.size() >= tlbMshr_.capacity() &&
+                !tlbMshr_.has(s.asid, s.vpn)) {
+                tlbMissRetry_.push_back(slot); // provably Full
+                continue;
+            }
+            ++tlbRetryProbes_;
+            unparkTransSlot(slot);
             tlbMissToWalker(slot);
         }
     }
@@ -865,6 +959,11 @@ Gpu::finishWalk(WalkId walk)
     // MSHR-full translation slot (allocate's Full path is mutation-
     // free, and no entry can be added while any slot is parked).
     tlbRetryWake_ = true;
+    // The key left the table: parked slots waiting on it can no
+    // longer merge (their next probe must allocate).
+    if (const std::uint32_t *parked =
+            parkedTransKeys_.find(tlbKey(info.asid, info.vpn)))
+        parkedMergeEligible_ -= *parked;
     tlbMissLatency_.add(
         static_cast<double>(now_ - entry.firstMissCycle));
 
@@ -929,27 +1028,152 @@ Gpu::stageCores()
     // access can only stop parking when its core receives a memory
     // response (L1 fill or MSHR completion, both in respondUp): while
     // none arrives the core's MSHR table stays full, its L1 cannot
-    // newly hit, and no key can be added for a merge. Probe only woken
-    // cores' entries; for the rest, advance the miss/rejection
-    // counters the elided probe would have bumped, in closed form.
-    // The single FIFO deque is kept (rotation preserves order) so the
-    // request-pool allocation order matches the per-cycle loop.
-    if (!dataRetry_.empty()) {
-        for (std::size_t n = dataRetry_.size(); n > 0; --n) {
-            const DataRetry retry = dataRetry_.front();
-            dataRetry_.pop_front();
-            if (coreDataWake_[retry.access.core] != 0) {
-                startDataAccess(retry.access, retry.app, retry.pfn);
-            } else {
-                ShaderCore &core = *cores_[retry.access.core];
-                ++core.l1dStats().misses;
-                core.l1Mshr().addRejections(1);
-                dataRetry_.push_back(retry);
+    // newly hit, and no key can be added for a merge. Within a woken
+    // core, the keyed index elides the probes that would provably
+    // return Full again (DESIGN.md §12):
+    //
+    //   Phase 1 — while the core has a free MSHR slot, the oldest
+    //   probe cannot Fail (merge is checked before capacity), so pop
+    //   and probe in a k-way merge by sequence number across woken
+    //   cores; request-pool allocation order matches the single-queue
+    //   pass exactly. MSHR completions never happen mid-pass, so a
+    //   core that fills up stays full and leaves the phase for good.
+    //
+    //   Phase 2 — with the MSHR full, a probe can only succeed as an
+    //   L1 hit (its key was filled this cycle) or a merge (its key
+    //   has an outstanding MSHR entry). Probe exactly those key
+    //   chains in sequence order — full-table probes never allocate,
+    //   so cross-core order no longer matters — and charge every
+    //   other parked entry its miss + rejection in closed form, the
+    //   same counters its Full probe would have bumped.
+    //
+    // Non-woken cores are charged entirely in closed form.
+    if (dataRetryCount_ > 0 && anyCoreDataWake_) {
+        dataRetryWoken_.clear();
+        for (CoreId c = 0; c < cores_.size(); ++c) {
+            if (coreDataWake_[c] != 0 && !dataRetryByCore_[c].empty())
+                dataRetryWoken_.push_back(RetryPassCore{
+                    c, dataRetryByCore_[c].size(), 0, true});
+        }
+        while (true) {
+            std::size_t best = dataRetryWoken_.size();
+            std::uint64_t best_seq = ~std::uint64_t{0};
+            for (std::size_t i = 0; i < dataRetryWoken_.size(); ++i) {
+                RetryPassCore &wc = dataRetryWoken_[i];
+                if (!wc.inPhase1)
+                    continue;
+                const DataRetryQueue &q = dataRetryByCore_[wc.core];
+                const MshrTable &mshr = cores_[wc.core]->l1Mshr();
+                if (q.empty() || mshr.size() >= mshr.capacity()) {
+                    wc.inPhase1 = false;
+                    continue;
+                }
+                const std::uint64_t seq = q.at(q.head()).seq;
+                if (seq < best_seq) {
+                    best = i;
+                    best_seq = seq;
+                }
+            }
+            if (best == dataRetryWoken_.size())
+                break;
+            RetryPassCore &wc = dataRetryWoken_[best];
+            DataRetryQueue &q = dataRetryByCore_[wc.core];
+            const std::uint32_t n = q.head();
+            const DataRetryQueue::Entry e = q.at(n);
+            if (q.remove(n))
+                dataMergeKeys_[wc.core].erase(e.key);
+            --dataRetryCount_;
+            ++wc.probes;
+            ++dataRetryProbes_;
+            const bool ok =
+                tryStartDataAccess(e.access, e.app, e.pfn);
+            SIM_CHECK_CTX(ok, "sim.gpu", now_,
+                          "retry probe returned Full with a free L1 "
+                          "MSHR slot",
+                          (CheckContext{.app = e.app,
+                                        .paddr = e.key}));
+        }
+        for (RetryPassCore &wc : dataRetryWoken_) {
+            DataRetryQueue &q = dataRetryByCore_[wc.core];
+            if (!q.empty()) {
+                retryCandKeys_.clear();
+                for (const std::uint64_t k :
+                     coreFilledKeys_[wc.core]) {
+                    if (q.hasKey(k))
+                        retryCandKeys_.push_back(k);
+                }
+                dataMergeKeys_[wc.core].forEach(
+                    [this](std::uint64_t k, std::uint8_t) {
+                        retryCandKeys_.push_back(k);
+                    });
+                std::sort(retryCandKeys_.begin(),
+                          retryCandKeys_.end());
+                retryCandKeys_.erase(
+                    std::unique(retryCandKeys_.begin(),
+                                retryCandKeys_.end()),
+                    retryCandKeys_.end());
+                retryChainCursor_.clear();
+                for (const std::uint64_t k : retryCandKeys_)
+                    retryChainCursor_.push_back(q.chainHead(k));
+                while (true) {
+                    std::size_t best = retryChainCursor_.size();
+                    std::uint64_t best_seq = ~std::uint64_t{0};
+                    for (std::size_t i = 0;
+                         i < retryChainCursor_.size(); ++i) {
+                        const std::uint32_t cur =
+                            retryChainCursor_[i];
+                        if (cur == DataRetryQueue::kNil)
+                            continue;
+                        if (q.at(cur).seq < best_seq) {
+                            best = i;
+                            best_seq = q.at(cur).seq;
+                        }
+                    }
+                    if (best == retryChainCursor_.size())
+                        break;
+                    const std::uint32_t cur =
+                        retryChainCursor_[best];
+                    const DataRetryQueue::Entry e = q.at(cur);
+                    retryChainCursor_[best] = q.chainNext(cur);
+                    ++wc.probes;
+                    ++dataRetryProbes_;
+                    if (tryStartDataAccess(e.access, e.app, e.pfn)) {
+                        if (q.remove(cur))
+                            dataMergeKeys_[wc.core].erase(e.key);
+                        --dataRetryCount_;
+                    }
+                    // On Full the entry stays parked in place; the
+                    // probe itself bumped the miss/rejection counters
+                    // exactly as the rescanning pass would have.
+                }
+            }
+            const std::size_t elided = wc.nStart - wc.probes;
+            if (elided > 0) {
+                ShaderCore &core = *cores_[wc.core];
+                core.l1dStats().misses += elided;
+                core.l1Mshr().addRejections(elided);
             }
         }
     }
+    if (dataRetryCount_ > 0) {
+        for (CoreId c = 0; c < cores_.size(); ++c) {
+            if (coreDataWake_[c] != 0)
+                continue; // probed or charged above
+            const std::size_t n = dataRetryByCore_[c].size();
+            if (n == 0)
+                continue;
+            ShaderCore &core = *cores_[c];
+            core.l1dStats().misses += n;
+            core.l1Mshr().addRejections(n);
+        }
+    }
     if (anyCoreDataWake_) {
-        std::fill(coreDataWake_.begin(), coreDataWake_.end(), 0);
+        for (CoreId c = 0; c < cores_.size(); ++c) {
+            if (coreDataWake_[c] != 0) {
+                coreDataWake_[c] = 0;
+                coreFilledKeys_[c].clear();
+            }
+        }
         anyCoreDataWake_ = false;
     }
 
@@ -1036,23 +1260,37 @@ Gpu::completeCoreTranslation(CoreId core, Asid asid, Vpn vpn, AppId app,
         startDataAccess(access, app, pfn);
 }
 
-void
-Gpu::startDataAccess(const StalledAccess &access, AppId app, Pfn pfn)
+/**
+ * Issue a translated data access into the L1/L2 hierarchy. Returns
+ * false when every L1 MSHR entry is busy (Full) without parking the
+ * access: the caller either parks it (startDataAccess) or, on the
+ * retry path, leaves the already-parked entry in place.
+ */
+bool
+Gpu::tryStartDataAccess(const StalledAccess &access, AppId app,
+                        Pfn pfn)
 {
     ShaderCore &core = *cores_[access.core];
-    const Addr paddr = (static_cast<Addr>(pfn) << cfg_.pageBits) |
-                       (access.vaddr & (cfg_.pageBytes() - 1));
+    const Addr paddr = dataPaddr(access, pfn);
     const std::uint64_t key = l2CacheKey(paddr);
 
     if (core.l1d().lookup(key)) {
         ++core.l1dStats().hits;
         core.accessDone(access.warp, now_);
-        return;
+        return true;
     }
     ++core.l1dStats().misses;
 
     switch (core.l1Mshr().allocate(key, access.warp)) {
       case MshrTable::Outcome::Allocated: {
+        // The key just became outstanding: parked retries on the same
+        // line would now Merge, so mark it merge-eligible for the
+        // retry pass (DESIGN.md §12).
+        const DataRetryQueue &parked = dataRetryByCore_[access.core];
+        if (!parked.empty() && parked.hasKey(key) &&
+            !dataMergeKeys_[access.core].contains(key)) {
+            dataMergeKeys_[access.core].insert(key, 1);
+        }
         const ReqId id = pool_.alloc();
         MemRequest &req = pool_[id];
         req.paddr = paddr;
@@ -1065,14 +1303,29 @@ Gpu::startDataAccess(const StalledAccess &access, AppId app, Pfn pfn)
         req.pwLevel = 0;
         req.issueCycle = access.issueCycle;
         sendToL2(id);
-        break;
+        return true;
       }
       case MshrTable::Outcome::Merged:
-        break;
+        return true;
       case MshrTable::Outcome::Full:
-        dataRetry_.push_back(DataRetry{access, app, pfn});
-        break;
+        return false;
     }
+    return false; // unreachable
+}
+
+void
+Gpu::startDataAccess(const StalledAccess &access, AppId app, Pfn pfn)
+{
+    if (tryStartDataAccess(access, app, pfn))
+        return;
+    // All L1 MSHR entries busy: park keyed by L1 line. Full implies
+    // the key has no outstanding MSHR entry (merge is checked before
+    // capacity), so the new entry is never merge-eligible at park
+    // time.
+    dataRetryByCore_[access.core].park(
+        access, app, pfn, dataRetrySeq_++,
+        l2CacheKey(dataPaddr(access, pfn)));
+    ++dataRetryCount_;
 }
 
 // ---------------------------------------------------------------------
@@ -1288,6 +1541,11 @@ Gpu::resetStats()
     skipWindows_ = 0;
     std::fill(std::begin(skipWindowLog2_), std::end(skipWindowLog2_),
               std::uint64_t{0});
+    dataRetryProbes_ = 0;
+    tlbRetryProbes_ = 0;
+    std::fill(std::begin(stageSeconds_), std::end(stageSeconds_), 0.0);
+    std::fill(std::begin(stageCalls_), std::end(stageCalls_),
+              std::uint64_t{0});
 }
 
 GpuStats
@@ -1344,6 +1602,16 @@ Gpu::collect()
     out.skipWindows = skipWindows_;
     out.skipWindowLog2.assign(std::begin(skipWindowLog2_),
                               std::end(skipWindowLog2_));
+    out.dramSchedPicks = dram_.schedPicks();
+    out.dramSchedBanksScanned = dram_.schedUnitsScanned();
+    out.dataRetryProbes = dataRetryProbes_;
+    out.tlbRetryProbes = tlbRetryProbes_;
+    if (profileStages_) {
+        out.stageSeconds.assign(std::begin(stageSeconds_),
+                                std::end(stageSeconds_));
+        out.stageCalls.assign(std::begin(stageCalls_),
+                              std::end(stageCalls_));
+    }
     out.watchdogSweeps = watchdog_.sweeps();
     out.watchdogMaxAgeSeen = watchdog_.maxAgeSeen();
     out.faultsInjected =
@@ -1527,13 +1795,29 @@ Gpu::serialize(StateWriter &w) const
                sw.u(s.notBefore);
            });
 
-    // Retry parking and event-driven wake flags.
+    // Retry parking and event-driven wake flags. The per-core indexed
+    // queues flatten back to global arrival order, byte-identical to
+    // the single-queue format they replaced; sequence numbers, key
+    // chains and the merge-eligibility sets are derived state and are
+    // not written (DESIGN.md §12).
     w.tag("retry");
-    putSeq(w, dataRetry_, [](StateWriter &sw, const DataRetry &d) {
-        putAccess(sw, d.access);
-        sw.u(d.app);
-        sw.u(d.pfn);
-    });
+    std::vector<const DataRetryQueue::Entry *> flat_retries;
+    flat_retries.reserve(dataRetryCount_);
+    for (const DataRetryQueue &q : dataRetryByCore_)
+        q.forEachSeq([&flat_retries](const DataRetryQueue::Entry &e) {
+            flat_retries.push_back(&e);
+        });
+    std::sort(flat_retries.begin(), flat_retries.end(),
+              [](const DataRetryQueue::Entry *a,
+                 const DataRetryQueue::Entry *b) {
+                  return a->seq < b->seq;
+              });
+    w.u(flat_retries.size());
+    for (const DataRetryQueue::Entry *e : flat_retries) {
+        putAccess(w, e->access);
+        w.u(e->app);
+        w.u(e->pfn);
+    }
     putUintSeq(w, coreDataWake_);
     w.b(anyCoreDataWake_);
     w.b(tlbRetryWake_);
@@ -1652,6 +1936,21 @@ Gpu::deserialize(StateReader &r)
     getUintSeq(r, walkStartQueue_);
     walker_.deserialize(r);
 
+    // Rebuild the parked-translation index (derived state, never
+    // serialized) from the restored retry deque and MSHR table.
+    parkedTransKeys_.clear();
+    parkedMergeEligible_ = 0;
+    for (const std::uint32_t slot : tlbMissRetry_) {
+        const TransSlot &s = transSlots_[slot];
+        const std::uint64_t key = tlbKey(s.asid, s.vpn);
+        if (std::uint32_t *parked = parkedTransKeys_.find(key))
+            ++*parked;
+        else
+            parkedTransKeys_.insert(key, 1);
+        if (tlbMshr_.has(s.asid, s.vpn))
+            ++parkedMergeEligible_;
+    }
+
     pwCache_.deserialize(r);
     pwCachePipe_.deserialize(r);
     getUintSeq(r, pwInput_);
@@ -1737,13 +2036,39 @@ Gpu::deserialize(StateReader &r)
     }
 
     r.tag("retry");
-    getSeq(r, dataRetry_, [&](StateReader &sr, DataRetry &d) {
+    std::deque<DataRetry> flat_retries;
+    getSeq(r, flat_retries, [&](StateReader &sr, DataRetry &d) {
         getAccess(sr, d.access);
         d.app = static_cast<AppId>(sr.u());
         d.pfn = static_cast<Pfn>(sr.u());
         if (d.access.core >= cores_.size() || d.app >= apps_.size())
             r.fail("parked data retry references unknown core/app");
     });
+    // Re-shard per core; fresh 0..n-1 sequence numbers reproduce the
+    // flattened arrival order exactly (only relative order matters),
+    // and re-parking rebuilds the key chains. The merge-eligibility
+    // sets are derived from the restored L1 MSHR tables below.
+    for (auto &q : dataRetryByCore_)
+        q.clear();
+    for (auto &t : dataMergeKeys_)
+        t.clear();
+    for (auto &v : coreFilledKeys_)
+        v.clear();
+    dataRetrySeq_ = 0;
+    dataRetryCount_ = flat_retries.size();
+    for (const DataRetry &d : flat_retries)
+        dataRetryByCore_[d.access.core].park(
+            d.access, d.app, d.pfn, dataRetrySeq_++,
+            l2CacheKey(dataPaddr(d.access, d.pfn)));
+    for (CoreId c = 0; c < cores_.size(); ++c) {
+        const MshrTable &mshr = cores_[c]->l1Mshr();
+        dataRetryByCore_[c].forEachSeq(
+            [&](const DataRetryQueue::Entry &e) {
+                if (mshr.has(e.key) &&
+                    !dataMergeKeys_[c].contains(e.key))
+                    dataMergeKeys_[c].insert(e.key, 1);
+            });
+    }
     getUintSeq(r, coreDataWake_);
     if (coreDataWake_.size() != cores_.size())
         r.fail("core wake vector size differs from core count");

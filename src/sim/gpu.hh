@@ -9,6 +9,7 @@
 #ifndef MASK_SIM_GPU_HH
 #define MASK_SIM_GPU_HH
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -32,6 +33,7 @@
 #include "mask/l2_bypass.hh"
 #include "mask/tokens.hh"
 #include "sim/fault_inject.hh"
+#include "sim/retry_queue.hh"
 #include "sim/watchdog.hh"
 #include "tlb/tlb.hh"
 #include "tlb/tlb_mshr.hh"
@@ -112,6 +114,21 @@ struct GpuStats
     std::uint64_t skipWindows = 0;
     std::vector<std::uint64_t> skipWindowLog2;
 
+    // Scheduler/retry work counters (DESIGN.md §12): deterministic
+    // functions of the simulated machine, so they double as
+    // host-independent perf-regression gates. Host-side only — never
+    // serialized and never printed by determinism-checked tables.
+    std::uint64_t dramSchedPicks = 0;        //!< scheduler pick calls
+    std::uint64_t dramSchedBanksScanned = 0; //!< units examined by picks
+    std::uint64_t dataRetryProbes = 0;  //!< parked L1-MSHR-full probes
+    std::uint64_t tlbRetryProbes = 0;   //!< parked TLB-MSHR-full probes
+
+    // Per-stage wall-clock profile (MASK_PROFILE_STAGES=1): seconds
+    // and invocation counts indexed by Gpu::StageId; empty when the
+    // profiler is off. Observation-only, like wallSeconds.
+    std::vector<double> stageSeconds;
+    std::vector<std::uint64_t> stageCalls;
+
     /** Simulated mega-cycles advanced per host second. */
     double megaCyclesPerSec() const;
     /** Memory-hierarchy requests simulated per host second. */
@@ -125,6 +142,27 @@ struct GpuStats
 class Gpu
 {
   public:
+    /** Pipeline stages, in tickOne() order; indexes the per-stage
+     *  profiler arrays surfaced as GpuStats::stageSeconds/stageCalls. */
+    enum StageId : std::size_t
+    {
+        kStageFaults,
+        kStageDram,
+        kStageL2Cache,
+        kStagePwCache,
+        kStageL2Tlb,
+        kStageWalker,
+        kStageCores,
+        kStageSamplers,
+        kStageEpoch,
+        kStageSwitches,
+        kStageWatchdog,
+        kNumStages,
+    };
+
+    /** Label for stage @p id (bench/report output). */
+    static const char *stageName(std::size_t id);
+
     Gpu(const GpuConfig &cfg, const std::vector<AppDesc> &apps);
     ~Gpu();
 
@@ -275,12 +313,26 @@ class Gpu
         Cycle notBefore = 0;
     };
 
-    /** Translated data access waiting for a free L1 MSHR. */
+    /** Translated data access waiting for a free L1 MSHR (snapshot
+     *  exchange format; live entries live in DataRetryQueue). */
     struct DataRetry
     {
         StalledAccess access;
         AppId app = 0;
         Pfn pfn = 0;
+    };
+
+    /** Per-woken-core retry-pass bookkeeping: how many entries were
+     *  parked when the pass started, how many probes actually ran
+     *  (both phases), and whether the core still has a free L1 MSHR
+     *  slot (phase 1). The difference nStart - probes is charged to
+     *  the miss/rejection counters in closed form. */
+    struct RetryPassCore
+    {
+        CoreId core = 0;
+        std::size_t nStart = 0;
+        std::size_t probes = 0;
+        bool inPhase1 = true;
     };
 
     // --- Event-driven main loop (DESIGN.md §9) ---
@@ -343,6 +395,16 @@ class Gpu
     void finishWalk(WalkId walk);
     void startDataAccess(const StalledAccess &access, AppId app,
                          Pfn pfn);
+    bool tryStartDataAccess(const StalledAccess &access, AppId app,
+                            Pfn pfn);
+    Addr
+    dataPaddr(const StalledAccess &access, Pfn pfn) const
+    {
+        return (static_cast<Addr>(pfn) << cfg_.pageBits) |
+               (access.vaddr & (cfg_.pageBytes() - 1));
+    }
+    void parkTransSlot(std::uint32_t slot);
+    void unparkTransSlot(std::uint32_t slot);
     void fillL2TlbOnWalkDone(const TlbMshrTable::Entry &entry, Pfn pfn);
     void creditInstructions();
 
@@ -430,7 +492,31 @@ class Gpu
     std::vector<PendingSwitch> pendingSwitch_;
     std::uint64_t switchSeed_ = 0;
 
-    std::deque<DataRetry> dataRetry_;
+    /**
+     * Parked MSHR-full data accesses, sharded per core and indexed by
+     * arrival order and L1 line key (DESIGN.md §12): a retry pass
+     * touches only the woken cores' queues, and within a woken core
+     * probes only the entries whose probe can succeed — the oldest
+     * entries while an MSHR slot is free (phase 1), then the chains
+     * whose key was filled this cycle or has an outstanding MSHR
+     * entry (phase 2). Everything else is charged to the L1
+     * miss/rejection counters in closed form. Global FIFO order is
+     * preserved by the per-entry sequence numbers (a k-way merge
+     * probes in arrival order); snapshots flatten back to the
+     * original single-queue format, so dataRetrySeq_, the key chains
+     * and dataMergeKeys_ are all derived state rebuilt on restore.
+     */
+    std::vector<DataRetryQueue> dataRetryByCore_;
+    std::size_t dataRetryCount_ = 0;  //!< total parked, all cores
+    std::uint64_t dataRetrySeq_ = 0;  //!< next arrival sequence
+    /** L1 line keys filled this cycle, per core: the only keys a
+     *  parked entry can newly hit on. Cleared with the wake flags. */
+    std::vector<std::vector<std::uint64_t>> coreFilledKeys_;
+    /** Keys with both an outstanding L1 MSHR entry and parked
+     *  retries: the only keys a parked entry can merge into while the
+     *  MSHR table is full. Maintained at allocate/complete/park/
+     *  unpark; rebuilt on restore. */
+    std::vector<FlatTable<std::uint8_t>> dataMergeKeys_;
     /**
      * Event-driven retry wakeups (DESIGN.md §9): a parked data access
      * can change outcome only when its core receives a memory response
@@ -443,6 +529,22 @@ class Gpu
     std::vector<std::uint8_t> coreDataWake_;
     bool anyCoreDataWake_ = false;
     bool tlbRetryWake_ = false;
+    /** Scratch for the retry pass (reused across cycles). */
+    std::vector<RetryPassCore> dataRetryWoken_;
+    std::vector<std::uint64_t> retryCandKeys_;
+    std::vector<std::uint32_t> retryChainCursor_;
+
+    /**
+     * Index over the parked translation slots (DESIGN.md §12),
+     * rebuilt on restore: how many parked slots wait on each
+     * tlbKey(asid, vpn), and how many of those keys are currently
+     * present in the shared TLB MSHR table (a parked slot whose key
+     * is present would Merge on its next probe). Lets the wake pass
+     * skip slots whose probe would provably return Full: when the
+     * table is full, only merge-eligible slots can make progress.
+     */
+    FlatTable<std::uint32_t> parkedTransKeys_;
+    std::uint32_t parkedMergeEligible_ = 0;
     /** Index of each core within its application's core list. */
     std::vector<std::uint16_t> coreAppIndex_;
 
@@ -488,6 +590,35 @@ class Gpu
     // --- Host-side throughput accounting ---
     double wallSeconds_ = 0.0;      //!< accumulated inside run()
     std::uint64_t allocsAtReset_ = 0;
+
+    // --- Per-stage profiler (MASK_PROFILE_STAGES=1; DESIGN.md §12) ---
+    /** Run @p fn as stage @p id, timing it when the profiler is on.
+     *  Observation-only: the untimed path is a plain call. */
+    template <typename Fn>
+    void
+    stageTimed(StageId id, Fn &&fn)
+    {
+        if (!profileStages_) {
+            fn();
+            return;
+        }
+        const auto t0 = std::chrono::steady_clock::now();
+        fn();
+        stageSeconds_[id] +=
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        ++stageCalls_[id];
+    }
+
+    /** Resolved from MASK_PROFILE_STAGES at construction. */
+    bool profileStages_ = false;
+    double stageSeconds_[kNumStages] = {};
+    std::uint64_t stageCalls_[kNumStages] = {};
+    // Deterministic work counters feeding GpuStats (host-side; never
+    // serialized — a restored run re-counts only its own work).
+    std::uint64_t dataRetryProbes_ = 0;
+    std::uint64_t tlbRetryProbes_ = 0;
 };
 
 } // namespace mask

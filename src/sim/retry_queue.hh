@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Indexed parking queue for MSHR-full data retries (DESIGN.md §12).
+ *
+ * Each shader core parks translated data accesses that found every L1
+ * MSHR entry busy. The retry pass must re-probe them in global arrival
+ * order (request-pool allocation order is part of the simulated
+ * result), but at saturation almost every probe returns Full again, so
+ * the pass keys the parked entries by their L1 line: a probe can only
+ * succeed when its key was just filled (L1 hit), its key has an
+ * outstanding MSHR entry (merge), or an MSHR slot is free (allocate).
+ * The queue therefore maintains two incremental views over one slab of
+ * nodes:
+ *
+ *  - a doubly-linked list in ascending sequence (arrival) order, fed
+ *    by park() which only ever appends (fresh parks take a fresh,
+ *    larger sequence number; probed entries that stay Full are simply
+ *    left in place, so no mid-list insertion ever happens); and
+ *  - per-key chains, also in ascending sequence order for the same
+ *    reason, reached through a FlatTable of chain heads.
+ *
+ * Indices are derived state: snapshots flatten the queue back to the
+ * flat arrival-ordered sequence the single-queue implementation wrote,
+ * and restore re-parks each entry, rebuilding both views.
+ */
+
+#ifndef MASK_SIM_RETRY_QUEUE_HH
+#define MASK_SIM_RETRY_QUEUE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/flat_table.hh"
+#include "common/types.hh"
+#include "tlb/tlb_mshr.hh"
+
+namespace mask {
+
+/** Per-core parked data retries indexed by arrival order and L1 key. */
+class DataRetryQueue
+{
+  public:
+    static constexpr std::uint32_t kNil = 0xffffffffu;
+
+    struct Entry
+    {
+        StalledAccess access;
+        AppId app = 0;
+        Pfn pfn = 0;
+        std::uint64_t seq = 0; //!< global arrival order across cores
+        std::uint64_t key = 0; //!< L1/L2 line key of the access
+    };
+
+    bool empty() const { return count_ == 0; }
+    std::size_t size() const { return count_; }
+
+    /** Oldest parked node, kNil when empty. */
+    std::uint32_t head() const { return head_; }
+    /** Next node in arrival order, kNil at the tail. */
+    std::uint32_t next(std::uint32_t n) const { return nodes_[n].next; }
+    /** Oldest parked node with @p key, kNil if none. */
+    std::uint32_t
+    chainHead(std::uint64_t key) const
+    {
+        const Chain *c = chains_.find(key);
+        return c == nullptr ? kNil : c->head;
+    }
+    /** Next node in the same key chain, kNil at the chain tail. */
+    std::uint32_t
+    chainNext(std::uint32_t n) const
+    {
+        return nodes_[n].keyNext;
+    }
+    bool hasKey(std::uint64_t key) const { return chains_.contains(key); }
+    const Entry &at(std::uint32_t n) const { return nodes_[n].entry; }
+
+    /**
+     * Park an access. @p seq must exceed every sequence number already
+     * in the queue (the caller hands out fresh, monotonically
+     * increasing numbers), so both the arrival list and the key chain
+     * are pure appends.
+     */
+    void
+    park(const StalledAccess &access, AppId app, Pfn pfn,
+         std::uint64_t seq, std::uint64_t key)
+    {
+        std::uint32_t n;
+        if (!free_.empty()) {
+            n = free_.back();
+            free_.pop_back();
+        } else {
+            n = static_cast<std::uint32_t>(nodes_.size());
+            nodes_.emplace_back();
+        }
+        Node &node = nodes_[n];
+        node.entry = Entry{access, app, pfn, seq, key};
+        node.prev = tail_;
+        node.next = kNil;
+        if (tail_ != kNil)
+            nodes_[tail_].next = n;
+        else
+            head_ = n;
+        tail_ = n;
+        node.keyNext = kNil;
+        if (Chain *c = chains_.find(key)) {
+            node.keyPrev = c->tail;
+            nodes_[c->tail].keyNext = n;
+            c->tail = n;
+        } else {
+            node.keyPrev = kNil;
+            chains_.insert(key, Chain{n, n});
+        }
+        ++count_;
+    }
+
+    /**
+     * Unlink node @p n from both views. Returns true when its key
+     * chain became empty (the caller drops the key from any
+     * merge-eligibility set it maintains).
+     */
+    bool
+    remove(std::uint32_t n)
+    {
+        Node &node = nodes_[n];
+        if (node.prev != kNil)
+            nodes_[node.prev].next = node.next;
+        else
+            head_ = node.next;
+        if (node.next != kNil)
+            nodes_[node.next].prev = node.prev;
+        else
+            tail_ = node.prev;
+
+        bool chain_emptied = false;
+        if (node.keyPrev != kNil)
+            nodes_[node.keyPrev].keyNext = node.keyNext;
+        if (node.keyNext != kNil)
+            nodes_[node.keyNext].keyPrev = node.keyPrev;
+        if (node.keyPrev == kNil && node.keyNext == kNil) {
+            chains_.erase(node.entry.key);
+            chain_emptied = true;
+        } else {
+            Chain *c = chains_.find(node.entry.key);
+            if (node.keyPrev == kNil)
+                c->head = node.keyNext;
+            if (node.keyNext == kNil)
+                c->tail = node.keyPrev;
+        }
+        free_.push_back(n);
+        --count_;
+        return chain_emptied;
+    }
+
+    /** Visit entries in arrival order (for snapshot flattening). */
+    template <typename Fn>
+    void
+    forEachSeq(Fn &&fn) const
+    {
+        for (std::uint32_t n = head_; n != kNil; n = nodes_[n].next)
+            fn(nodes_[n].entry);
+    }
+
+    void
+    clear()
+    {
+        nodes_.clear();
+        free_.clear();
+        chains_.clear();
+        head_ = kNil;
+        tail_ = kNil;
+        count_ = 0;
+    }
+
+  private:
+    struct Chain
+    {
+        std::uint32_t head = kNil;
+        std::uint32_t tail = kNil;
+    };
+
+    struct Node
+    {
+        Entry entry;
+        std::uint32_t prev = kNil;
+        std::uint32_t next = kNil;
+        std::uint32_t keyPrev = kNil;
+        std::uint32_t keyNext = kNil;
+    };
+
+    std::vector<Node> nodes_;
+    std::vector<std::uint32_t> free_; //!< recycled slab slots
+    FlatTable<Chain> chains_;         //!< key -> chain head/tail
+    std::uint32_t head_ = kNil;
+    std::uint32_t tail_ = kNil;
+    std::size_t count_ = 0;
+};
+
+} // namespace mask
+
+#endif // MASK_SIM_RETRY_QUEUE_HH
