@@ -4,12 +4,17 @@
 # MASK_BENCH_JOBS parallelizes the sweeps (default: all hardware
 # threads; output is byte-identical regardless of the job count).
 # MASK_SWEEP_* (timeouts, retries, isolation, journal) harden long
-# sweeps; see README.md.
+# sweeps; see README.md. MASK_SWEEP_OBS_DIR=<dir> collects per-job
+# telemetry (timeseries JSONL + Chrome trace, DESIGN.md S13) from
+# every sweep into <dir>; the summary footer says where it landed.
 #
 # Every bench runs even if an earlier one fails; the script prints a
 # per-bench PASS/FAIL summary and exits non-zero if any bench failed.
 MASK_BENCH_JOBS="${MASK_BENCH_JOBS:-0}"
 export MASK_BENCH_JOBS
+if [ -n "${MASK_SWEEP_OBS_DIR:-}" ]; then
+    export MASK_SWEEP_OBS_DIR
+fi
 
 failed=""
 passed=0
@@ -35,6 +40,10 @@ done
 echo ""
 echo "########## summary ##########"
 echo "$passed/$total benches passed"
+if [ -n "${MASK_SWEEP_OBS_DIR:-}" ]; then
+    obs_files=$(ls "$MASK_SWEEP_OBS_DIR" 2>/dev/null | wc -l)
+    echo "telemetry: $obs_files files in $MASK_SWEEP_OBS_DIR (summarize with scripts/obs_report.py)"
+fi
 if [ -n "$failed" ]; then
     echo "FAILED:$failed"
     exit 1

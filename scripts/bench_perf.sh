@@ -1,7 +1,13 @@
 #!/usr/bin/env bash
 # Host-side simulator throughput report -> BENCH_throughput.json.
 #
-# Three sections:
+# The output file is a HISTORY: each invocation appends one run entry
+# ({date, git_rev, host, throughput, sweep}) to the top-level "runs"
+# array instead of overwriting, so throughput can be compared across
+# commits and hosts. A pre-history single-run file is wrapped as the
+# first entry on the next append.
+#
+# Three sections per run entry:
 #   "host": nproc and CPU model of the machine that produced the
 #     numbers (throughput is host-dependent; the CI regression gate
 #     uses only the deterministic work counters, see
@@ -79,8 +85,13 @@ else
     echo "serial ${SERIAL}s  (parallel leg skipped)"
 fi
 
+# One run entry, built as before...
+RUN_JSON="$(mktemp)"
+trap 'rm -f "$RUN_JSON"' EXIT
 {
     echo "{"
+    echo "  \"date\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+    echo "  \"git_rev\": \"$(git rev-parse --short HEAD 2>/dev/null || echo unknown)\","
     echo "  \"host\": {"
     echo "    \"nproc\": $JOBS,"
     echo "    \"cpu_model\": \"$CPU_MODEL\""
@@ -97,5 +108,34 @@ fi
     echo "    \"note\": \"$SWEEP_NOTE\""
     echo "  }"
     echo "}"
-} >"$OUT"
-echo "wrote $OUT"
+} >"$RUN_JSON"
+
+# ...then appended to the history array in $OUT. A corrupt or
+# pre-history file is wrapped/replaced rather than aborting the run.
+python3 - "$OUT" "$RUN_JSON" <<'PYEOF'
+import json
+import sys
+
+out_path, run_path = sys.argv[1], sys.argv[2]
+with open(run_path, encoding="utf-8") as fh:
+    run = json.load(fh)
+
+runs = []
+try:
+    with open(out_path, encoding="utf-8") as fh:
+        prev = json.load(fh)
+    if isinstance(prev, dict) and isinstance(prev.get("runs"), list):
+        runs = prev["runs"]
+    elif isinstance(prev, dict) and "throughput" in prev:
+        # Pre-history single-run format: keep it as the first entry.
+        runs = [prev]
+except (OSError, ValueError):
+    pass
+
+runs.append(run)
+with open(out_path, "w", encoding="utf-8") as fh:
+    json.dump({"schema": "mask-bench-history", "version": 1,
+               "runs": runs}, fh, indent=2)
+    fh.write("\n")
+print(f"appended run {len(runs)} to {out_path}")
+PYEOF

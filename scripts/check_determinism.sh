@@ -182,3 +182,33 @@ if ! diff -u "$out_a" "$out_b"; then
     exit 1
 fi
 echo "deterministic: MASK_SCHED_REFERENCE=1 byte-identical to indexed scheduler"
+
+# The observability layer (DESIGN.md §13) is observation-only: with
+# per-job telemetry on (MASK_SWEEP_OBS_DIR), stdout must stay
+# byte-identical to the plain run, and the telemetry files themselves
+# — timeseries JSONL and Chrome traces — must be byte-identical
+# across two obs-enabled runs (same seed → same samples and events).
+echo "== run 11 (per-job telemetry enabled) =="
+obs_a="$ckpt_dir/obs_a"
+obs_b="$ckpt_dir/obs_b"
+MASK_BENCH_FAST=1 MASK_BENCH_PAIRS=4 MASK_BENCH_JOBS=1 \
+    MASK_SWEEP_OBS_DIR="$obs_a" "$BIN" >"$out_b" 2>/dev/null
+
+if ! diff -u "$out_a" "$out_b"; then
+    echo "DETERMINISM FAILURE: telemetry-enabled run diverged from plain run" >&2
+    exit 1
+fi
+if ! ls "$obs_a"/*.timeseries.jsonl >/dev/null 2>&1 ||
+    ! ls "$obs_a"/*.trace.json >/dev/null 2>&1; then
+    echo "DETERMINISM FAILURE: MASK_SWEEP_OBS_DIR produced no telemetry files" >&2
+    exit 1
+fi
+
+MASK_BENCH_FAST=1 MASK_BENCH_PAIRS=4 MASK_BENCH_JOBS=1 \
+    MASK_SWEEP_OBS_DIR="$obs_b" "$BIN" >/dev/null 2>/dev/null
+
+if ! diff -ru "$obs_a" "$obs_b"; then
+    echo "DETERMINISM FAILURE: telemetry files differ between identical runs" >&2
+    exit 1
+fi
+echo "deterministic: telemetry on leaves stdout unchanged; obs files byte-identical across runs"

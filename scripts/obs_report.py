@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Summarize a MASK timeseries JSONL file as a per-app table.
+
+Usage:
+    scripts/obs_report.py out.timeseries.jsonl [more.jsonl ...]
+
+Input is the self-describing format written by the simulator's
+observability layer (DESIGN.md S13): the first line is a schema
+header naming every column (name, unit, app, kind), each following
+line is one sample row {"cycle": N, "v": [...]}. This script never
+hard-codes column positions -- everything comes from the header.
+
+Aggregation by series kind:
+    gauge  -> mean over rows (plus last value)
+    delta  -> sum over rows (per-interval increments)
+Columns tagged with an app index are grouped under that app; app -1
+columns are listed in a separate "global" section.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    """Returns (header_dict, list_of_row_dicts)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        lines = [ln for ln in (l.strip() for l in fh) if ln]
+    if not lines:
+        raise SystemExit(f"{path}: empty file")
+    header = json.loads(lines[0])
+    if header.get("schema") not in ("mask-timeseries", "mask-stage-profile"):
+        raise SystemExit(f"{path}: not a MASK timeseries file "
+                         f"(schema={header.get('schema')!r})")
+    rows = [json.loads(ln) for ln in lines[1:]]
+    ncols = len(header.get("series", []))
+    for i, row in enumerate(rows):
+        if len(row.get("v", [])) != ncols:
+            raise SystemExit(f"{path}: row {i} has {len(row.get('v', []))} "
+                             f"values, schema declares {ncols}")
+    return header, rows
+
+
+def fmt(value, unit):
+    if unit in ("ratio", "ipc"):
+        return f"{value:.4f}"
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{value:.2f}"
+
+
+def summarize(path):
+    header, rows = load(path)
+    series = header["series"]
+    print(f"== {path} ==")
+    print(f"schema {header['schema']} v{header.get('version')}  "
+          f"interval {header.get('interval')} cycles  "
+          f"{len(rows)} rows  {len(series)} columns")
+    if not rows:
+        return
+
+    cycles = [r["cycle"] for r in rows]
+    print(f"cycle range [{cycles[0]}, {cycles[-1]}]")
+
+    # app -> [(name, unit, kind, aggregate, last)]
+    groups = {}
+    for col, s in enumerate(series):
+        values = [r["v"][col] for r in rows]
+        if s.get("kind") == "delta":
+            agg_label, agg = "sum", sum(values)
+        else:
+            agg_label, agg = "mean", sum(values) / len(values)
+        groups.setdefault(s.get("app", -1), []).append(
+            (s["name"], s.get("unit", ""), agg_label, agg, values[-1]))
+
+    name_w = max(len(s["name"]) for s in series)
+    for app in sorted(groups, key=lambda a: (a < 0, a)):
+        print(f"\n-- {'global' if app < 0 else f'app {app}'} --")
+        print(f"{'series':<{name_w}}  {'unit':<7} {'agg':<5} "
+              f"{'value':>12} {'last':>12}")
+        for name, unit, agg_label, agg, last in groups[app]:
+            print(f"{name:<{name_w}}  {unit:<7} {agg_label:<5} "
+                  f"{fmt(agg, unit):>12} {fmt(last, unit):>12}")
+
+
+def main(argv):
+    if len(argv) < 2 or argv[1] in ("-h", "--help"):
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    for i, path in enumerate(argv[1:]):
+        if i:
+            print()
+        summarize(path)
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main(sys.argv))
+    except BrokenPipeError:  # e.g. piped into head
+        sys.exit(0)

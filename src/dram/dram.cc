@@ -312,6 +312,7 @@ DramChannel::tick(Cycle now, RequestPool &pool)
             const DramQueueEntry picked = entry;
             golden_.erase(golden_.begin() +
                           static_cast<std::ptrdiff_t>(i));
+            ++servicedFromQueue_[0];
             serviceEntry(picked, now, pool);
             return;
         }
@@ -334,6 +335,7 @@ DramChannel::tick(Cycle now, RequestPool &pool)
             if (!row_conflict ||
                 now >= entry.enqueueCycle + maskCfg_.silverMaxDelay ||
                 !hasPendingRowHit(entry.bank)) {
+                ++servicedFromQueue_[1];
                 serviceNode(silver_, pick, now, pool);
                 return;
             }
@@ -341,8 +343,10 @@ DramChannel::tick(Cycle now, RequestPool &pool)
     }
 
     const std::uint32_t pick = pickFrom(normal_, now);
-    if (pick != BankedRequestQueue::kNil)
+    if (pick != BankedRequestQueue::kNil) {
+        ++servicedFromQueue_[2];
         serviceNode(normal_, pick, now, pool);
+    }
 }
 
 Cycle

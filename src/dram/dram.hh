@@ -223,6 +223,15 @@ class DramChannel
     std::uint64_t schedPicks() const { return schedPicks_; }
     std::uint64_t schedUnitsScanned() const { return schedScanned_; }
 
+    /** Host-side issue-mix counter (never serialized): requests
+     *  serviced from each scheduling queue — 0 = Golden, 1 = Silver,
+     *  2 = Normal (the FR-FCFS baselines issue everything from the
+     *  Normal slot). Feeds the obs timeseries (DESIGN.md §13). */
+    std::uint64_t servicedFromQueue(std::size_t queue) const
+    {
+        return servicedFromQueue_[queue];
+    }
+
     /**
      * Watchdog hook: throw SimInvariantError if any queue exceeds its
      * configured bound (Golden/Silver/Normal under MaskQueues, the
@@ -288,6 +297,8 @@ class DramChannel
 
     std::uint64_t schedPicks_ = 0;   //!< host observability only
     std::uint64_t schedScanned_ = 0; //!< host observability only
+    /** Serviced per queue (Golden/Silver/Normal); host only. */
+    std::uint64_t servicedFromQueue_[3] = {0, 0, 0};
 };
 
 /** The full DRAM subsystem: mapper + channels. */

@@ -1,0 +1,192 @@
+#include "obs/registry.hh"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace mask {
+namespace obs {
+
+std::size_t
+SeriesRegistry::add(SeriesDesc d)
+{
+    series_.push_back(std::move(d));
+    return series_.size() - 1;
+}
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+appendJsonNumber(std::string &out, double v)
+{
+    char buf[40];
+    // NaN/inf are not valid JSON; they cannot arise from the gauges
+    // (safeDiv clamps 0/0 to 0) but a guard keeps the file loadable.
+    if (!std::isfinite(v)) {
+        out += "0";
+        return;
+    }
+    constexpr double kExact = 9007199254740992.0; // 2^53
+    if (v == std::floor(v) && v >= -kExact && v <= kExact) {
+        std::snprintf(buf, sizeof(buf), "%" PRId64,
+                      static_cast<std::int64_t>(v));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.9g", v);
+    }
+    out += buf;
+}
+
+std::string
+SeriesRegistry::schemaJson(const std::string &stream,
+                           std::uint64_t interval) const
+{
+    std::string out = "{\"schema\":\"" + jsonEscape(stream) + "\"";
+    out += ",\"version\":" + std::to_string(kSchemaVersion);
+    out += ",\"interval\":" + std::to_string(interval);
+    out += ",\"series\":[";
+    for (std::size_t i = 0; i < series_.size(); ++i) {
+        const SeriesDesc &d = series_[i];
+        if (i != 0)
+            out += ",";
+        out += "{\"name\":\"" + jsonEscape(d.name) + "\"";
+        out += ",\"unit\":\"" + jsonEscape(d.unit) + "\"";
+        out += ",\"app\":" + std::to_string(d.app);
+        out += ",\"kind\":\"" + jsonEscape(d.kind) + "\"";
+        out += ",\"desc\":\"" + jsonEscape(d.desc) + "\"}";
+    }
+    out += "]}";
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Options
+// ---------------------------------------------------------------------
+
+namespace {
+
+std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    const char *v = std::getenv(name);
+    if (v == nullptr || v[0] == '\0')
+        return fallback;
+    const long long n = std::atoll(v);
+    return n > 0 ? static_cast<std::uint64_t>(n) : fallback;
+}
+
+/** Category spec ("tlb,walk,...") -> bitmask; see trace.hh for the
+ *  bit assignments. Unset or empty selects everything; unknown names
+ *  are ignored so a typo degrades to fewer categories, not a crash. */
+std::uint32_t
+parseCatsSpec(const char *spec)
+{
+    if (spec == nullptr || spec[0] == '\0')
+        return 0xffffffffu;
+    static const struct
+    {
+        const char *name;
+        std::uint32_t bit;
+    } kCats[] = {
+        {"tlb", 1u << 0},  {"walk", 1u << 1},      {"dram", 1u << 2},
+        {"quota", 1u << 3}, {"shootdown", 1u << 4},
+    };
+    std::uint32_t mask = 0;
+    const char *p = spec;
+    while (*p != '\0') {
+        const char *comma = std::strchr(p, ',');
+        const std::size_t len =
+            comma != nullptr ? static_cast<std::size_t>(comma - p)
+                             : std::strlen(p);
+        for (const auto &c : kCats) {
+            if (std::strlen(c.name) == len &&
+                std::strncmp(c.name, p, len) == 0)
+                mask |= c.bit;
+        }
+        if (comma == nullptr)
+            break;
+        p = comma + 1;
+    }
+    return mask;
+}
+
+thread_local const ObsOptions *g_override = nullptr;
+
+} // namespace
+
+ObsOptions
+obsOptionsFromEnv()
+{
+    ObsOptions o;
+    if (const char *p = std::getenv("MASK_TIMESERIES"))
+        o.timeseriesPath = p;
+    o.timeseriesInterval =
+        envU64("MASK_TIMESERIES_INTERVAL", o.timeseriesInterval);
+    o.timeseriesRingRows = static_cast<std::size_t>(
+        envU64("MASK_TIMESERIES_RING", o.timeseriesRingRows));
+    if (const char *p = std::getenv("MASK_TRACE"))
+        o.tracePath = p;
+    o.traceCats = parseCatsSpec(std::getenv("MASK_TRACE_CATS"));
+    o.traceRingEvents = static_cast<std::size_t>(
+        envU64("MASK_TRACE_RING", o.traceRingEvents));
+    if (const char *p = std::getenv("MASK_PROFILE_STAGES_OUT"))
+        o.stageProfilePath = p;
+    return o;
+}
+
+ObsOptions
+resolveObsOptions()
+{
+    if (g_override != nullptr)
+        return *g_override;
+    return obsOptionsFromEnv();
+}
+
+ScopedObsOverride::ScopedObsOverride(ObsOptions opts)
+    : opts_(std::move(opts)), prev_(g_override)
+{
+    g_override = &opts_;
+}
+
+ScopedObsOverride::~ScopedObsOverride()
+{
+    g_override = prev_;
+}
+
+} // namespace obs
+} // namespace mask

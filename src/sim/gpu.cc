@@ -5,6 +5,9 @@
 #include <cstdlib>
 
 #include "common/check.hh"
+#include "obs/registry.hh"
+#include "obs/timeseries.hh"
+#include "obs/trace.hh"
 #include "sim/cancel.hh"
 
 namespace mask {
@@ -186,9 +189,14 @@ Gpu::Gpu(const GpuConfig &cfg, const std::vector<AppDesc> &apps)
 
     if (cfg_.mask.dramSched)
         dram_.setQuotaProvider(&quota_);
+
+    obsInit();
 }
 
-Gpu::~Gpu() = default;
+Gpu::~Gpu()
+{
+    obsFinish();
+}
 
 // ---------------------------------------------------------------------
 // Main loop
@@ -343,7 +351,35 @@ Gpu::skipTo(Cycle target)
             core.l1Mshr().addRejections(n * skipped);
         }
     }
-    if (cfg_.mask.dramSched) {
+    // Timeseries samples due inside the window (DESIGN.md §13): the
+    // window is provably empty, so every sampled gauge except the
+    // Equation 1 quota sums is constant across it. Advance the quota
+    // accumulators in closed-form segments up to each due point and
+    // sample there, then cover the remainder — byte-identical to the
+    // per-cycle loop's accumulate-then-sample order. The skip target
+    // and the window statistics are untouched, so GpuStats stays
+    // byte-identical with the sampler on or off.
+    if (obsTs_ != nullptr && obsTs_->nextDue() < target) {
+        Cycle pos = now_;
+        while (obsTs_->nextDue() < target) {
+            const Cycle due = obsTs_->nextDue();
+            if (cfg_.mask.dramSched) {
+                const Cycle seg = due - pos + 1;
+                for (AppId a = 0; a < apps_.size(); ++a) {
+                    quota_.sampleN(a, walker_.activeWalksFor(a),
+                                   stalledAccesses_[a], seg);
+                }
+            }
+            obsSampleAt(due);
+            pos = due + 1;
+        }
+        if (cfg_.mask.dramSched && pos < target) {
+            for (AppId a = 0; a < apps_.size(); ++a) {
+                quota_.sampleN(a, walker_.activeWalksFor(a),
+                               stalledAccesses_[a], target - pos);
+            }
+        }
+    } else if (cfg_.mask.dramSched) {
         for (AppId a = 0; a < apps_.size(); ++a) {
             quota_.sampleN(a, walker_.activeWalksFor(a),
                            stalledAccesses_[a], skipped);
@@ -393,6 +429,10 @@ Gpu::tickOne()
     if (switchesInFlight_ > 0)
         stageTimed(kStageSwitches, [this] { stageSwitches(); });
     stageTimed(kStageWatchdog, [this] { stageWatchdog(); });
+    // End-of-cycle telemetry sample (DESIGN.md §13): one pointer test
+    // when the timeseries is off.
+    if (obsTs_ != nullptr && obsTs_->due(now_))
+        obsSampleAt(now_);
     ++now_;
 }
 
@@ -409,6 +449,22 @@ Gpu::stageDram()
     while (!done.empty()) {
         const ReqId id = done.front();
         done.pop_front();
+        // Duration event at completion: the begin cycle is part of
+        // the request (serialized), so spans crossing a snapshot
+        // boundary appear exactly once, in the resumed trace.
+        if (obsTrace_ != nullptr &&
+            obsTrace_->wants(obs::TraceCat::kDram)) {
+            const MemRequest &req = pool_[id];
+            const DramCoord co =
+                dram_.mapper().map(req.paddr, req.app);
+            obsTrace_->complete(
+                obs::TraceCat::kDram,
+                req.type == ReqType::Translation ? "dram_walk"
+                                                 : "dram_data",
+                static_cast<std::uint32_t>(req.app) + 1,
+                req.dramEnqueueCycle, now_ - req.dramEnqueueCycle,
+                {{"channel", co.channel}, {"bank", co.bank}});
+        }
         if (faults_.enabled()) {
             const Cycle delay = faults_.dramResponseDelay();
             if (delay > 0) {
@@ -948,6 +1004,16 @@ Gpu::finishWalk(WalkId walk)
     const PageTableWalker::WalkInfo info = walker_.info(walk);
     walker_.release(walk);
 
+    if (obsTrace_ != nullptr &&
+        obsTrace_->wants(obs::TraceCat::kWalk)) {
+        obsTrace_->complete(
+            obs::TraceCat::kWalk, "page_walk",
+            static_cast<std::uint32_t>(info.app) + 1,
+            info.startCycle, now_ - info.startCycle,
+            {{"asid", static_cast<std::int64_t>(info.asid)},
+             {"vpn", static_cast<std::int64_t>(info.vpn)}});
+    }
+
     const Pfn pfn = pageTables_[info.app]->lookup(info.vpn);
     SIM_CHECK_CTX(pfn != kInvalidPfn, "sim.gpu", now_,
                   "walk finished for unmapped page",
@@ -1371,6 +1437,9 @@ Gpu::stageEpoch()
         return;
     nextEpoch_ += cfg_.mask.epochCycles;
 
+    if (obsTrace_ != nullptr)
+        obsEpochPre();
+
     for (AppId a = 0; a < apps_.size(); ++a) {
         tokens_.onEpoch(
             a, l2Tlb_.epochStatsFor(apps_[a].asid).missRate());
@@ -1380,11 +1449,20 @@ Gpu::stageEpoch()
     l2Policy_.onEpoch();
     quota_.onEpoch();
     dram_.onEpoch();
+
+    if (obsTrace_ != nullptr)
+        obsEpochPost();
 }
 
 void
 Gpu::tlbShootdown(Asid asid)
 {
+    if (obsTrace_ != nullptr &&
+        obsTrace_->wants(obs::TraceCat::kShootdown)) {
+        obsTrace_->instant(
+            obs::TraceCat::kShootdown, "tlb_shootdown", 0, now_,
+            {{"asid", static_cast<std::int64_t>(asid)}});
+    }
     for (auto &core : cores_) {
         if (core->asid() == asid)
             core->l1Tlb().flushAsid(asid);
@@ -1546,6 +1624,12 @@ Gpu::resetStats()
     std::fill(std::begin(stageSeconds_), std::end(stageSeconds_), 0.0);
     std::fill(std::begin(stageCalls_), std::end(stageCalls_),
               std::uint64_t{0});
+    // The reset zeroed most cumulative counters the gauges take
+    // deltas of; re-capture the baselines from the post-reset values.
+    if (obsTs_ != nullptr) {
+        obsLastSample_ = now_;
+        obsCaptureBaseline();
+    }
 }
 
 GpuStats
@@ -1618,6 +1702,332 @@ Gpu::collect()
         faults_.delaysInjected() + faults_.dropsInjected() +
         faults_.shootdownsInjected() + faults_.portStallsInjected();
     return out;
+}
+
+// ---------------------------------------------------------------------
+// Observability (DESIGN.md §13)
+// ---------------------------------------------------------------------
+//
+// Everything below is observation-only: it reads the simulated
+// machine, never feeds back into it, is never serialized, and its
+// knobs (resolved from the environment, or from the sweep runner's
+// per-job thread-local override, at construction) take no part in
+// configFingerprint. The sampler is deliberately NOT an event source
+// for nextEventCycle(): bounding skip windows at sample due points
+// would change the skip statistics inside GpuStats and break the
+// obs-on/off byte-identity guarantee — skipTo() instead advances the
+// quota accumulators in segments through each due point.
+
+void
+Gpu::obsInit()
+{
+    const obs::ObsOptions opts = obs::resolveObsOptions();
+    obsStageProfilePath_ = opts.stageProfilePath;
+
+    if (opts.traceOn()) {
+        obsTrace_ = std::make_unique<obs::TraceWriter>(
+            opts.tracePath, opts.traceCats, opts.traceRingEvents);
+    }
+
+    if (!opts.timeseriesOn())
+        return;
+
+    // Column registry. obsSampleAt() fills obsVals_ in EXACTLY this
+    // order — keep the two in sync.
+    obs::SeriesRegistry reg;
+    for (AppId a = 0; a < apps_.size(); ++a) {
+        const int app = static_cast<int>(a);
+        const std::string sfx = ".app" + std::to_string(app);
+        reg.add({"l1_tlb_hit_rate" + sfx, "ratio", app, "gauge",
+                 "per-interval L1 TLB hit rate over the app's cores"});
+        reg.add({"l2_tlb_hit_rate" + sfx, "ratio", app, "gauge",
+                 "per-interval shared L2 TLB hit rate"});
+        reg.add({"tokens" + sfx, "count", app, "gauge",
+                 "TLB-Fill Tokens held (Section 5.2)"});
+        reg.add({"active_walks" + sfx, "count", app, "gauge",
+                 "page walks in flight in the shared walker"});
+        reg.add({"silver_quota" + sfx, "count", app, "gauge",
+                 "Equation 1 thresh_i Silver-queue quota"});
+        reg.add({"quota_pressure" + sfx, "ratio", app, "gauge",
+                 "app share of the Equation 1 weight sum"});
+        reg.add({"ipc" + sfx, "ipc", app, "gauge",
+                 "instructions per cycle over the interval"});
+    }
+    reg.add({"walk_start_queue", "count", -1, "gauge",
+             "walks waiting for a free walker thread"});
+    reg.add({"l2_bypass_rate", "ratio", -1, "gauge",
+             "bypassed fraction of walk-level L2 lookups (interval)"});
+    for (std::uint32_t lvl = 1; lvl <= L2BypassPolicy::kMaxLevel;
+         ++lvl) {
+        reg.add({"l2_bypass_on_l" + std::to_string(lvl), "bool", -1,
+                 "gauge",
+                 "walk level currently bypasses the shared L2"});
+    }
+    for (std::uint32_t c = 0; c < dram_.numChannels(); ++c) {
+        const std::string sfx = ".ch" + std::to_string(c);
+        reg.add({"dram_queue_depth" + sfx, "count", -1, "gauge",
+                 "requests queued in the channel's buffers"});
+        reg.add({"dram_row_hit_rate" + sfx, "ratio", -1, "gauge",
+                 "row-buffer hit fraction over the interval"});
+        reg.add({"dram_issue_golden" + sfx, "count", -1, "delta",
+                 "requests issued from the Golden queue (interval)"});
+        reg.add({"dram_issue_silver" + sfx, "count", -1, "delta",
+                 "requests issued from the Silver queue (interval)"});
+        reg.add({"dram_issue_normal" + sfx, "count", -1, "delta",
+                 "requests issued from the Normal queue (interval)"});
+    }
+
+    obsVals_.assign(reg.size(), 0.0);
+    obsTs_ = std::make_unique<obs::TimeseriesWriter>(
+        opts.timeseriesPath, std::move(reg), opts.timeseriesInterval,
+        opts.timeseriesRingRows);
+    obsLastSample_ = now_;
+    obsCaptureBaseline();
+}
+
+namespace {
+
+/** Counter delta clamped at zero: epoch decay (L2 bypass stats) can
+ *  shrink a cumulative counter between samples. */
+double
+obsDelta(std::uint64_t cur, std::uint64_t prev)
+{
+    return cur >= prev ? static_cast<double>(cur - prev) : 0.0;
+}
+
+} // namespace
+
+void
+Gpu::obsCaptureBaseline()
+{
+    if (obsTs_ == nullptr)
+        return;
+    creditInstructions();
+    ObsBaseline &p = obsPrev_;
+    const std::size_t num_apps = apps_.size();
+    p.l1Hits.assign(num_apps, 0);
+    p.l1Misses.assign(num_apps, 0);
+    p.l2Hits.assign(num_apps, 0);
+    p.l2Misses.assign(num_apps, 0);
+    p.instr.assign(num_apps, 0);
+    for (AppId a = 0; a < num_apps; ++a) {
+        for (const CoreId c : apps_[a].cores) {
+            const HitMiss &hm = cores_[c]->l1Tlb().stats();
+            p.l1Hits[a] += hm.hits;
+            p.l1Misses[a] += hm.misses;
+        }
+        const HitMiss &l2 = l2Tlb_.statsFor(apps_[a].asid);
+        p.l2Hits[a] = l2.hits;
+        p.l2Misses[a] = l2.misses;
+        p.instr[a] = appInstr_[a];
+    }
+    const std::uint32_t channels = dram_.numChannels();
+    p.rowHits.assign(channels, 0);
+    p.rowAcc.assign(channels, 0);
+    for (auto &q : p.issued)
+        q.assign(channels, 0);
+    for (std::uint32_t c = 0; c < channels; ++c) {
+        const DramChannelStats &s = dram_.channel(c).stats();
+        p.rowHits[c] = s.rowHits;
+        p.rowAcc[c] = s.rowHits + s.rowMisses + s.rowConflicts;
+        for (std::size_t q = 0; q < 3; ++q)
+            p.issued[q][c] = dram_.channel(c).servicedFromQueue(q);
+    }
+    p.bypasses = l2Policy_.bypasses();
+    p.walkAcc = 0;
+    for (std::uint32_t lvl = 1; lvl <= L2BypassPolicy::kMaxLevel;
+         ++lvl) {
+        p.walkAcc += l2Policy_
+                         .stats(static_cast<std::uint8_t>(lvl))
+                         .accesses();
+    }
+}
+
+void
+Gpu::obsSampleAt(Cycle cycle)
+{
+    creditInstructions();
+    ObsBaseline &p = obsPrev_;
+    const Cycle dt = cycle - obsLastSample_;
+    std::size_t i = 0;
+
+    for (AppId a = 0; a < apps_.size(); ++a) {
+        std::uint64_t h = 0;
+        std::uint64_t m = 0;
+        for (const CoreId c : apps_[a].cores) {
+            const HitMiss &hm = cores_[c]->l1Tlb().stats();
+            h += hm.hits;
+            m += hm.misses;
+        }
+        const double dl1h = obsDelta(h, p.l1Hits[a]);
+        const double dl1m = obsDelta(m, p.l1Misses[a]);
+        obsVals_[i++] = safeDiv(dl1h, dl1h + dl1m);
+        p.l1Hits[a] = h;
+        p.l1Misses[a] = m;
+
+        const HitMiss &l2 = l2Tlb_.statsFor(apps_[a].asid);
+        const double dl2h = obsDelta(l2.hits, p.l2Hits[a]);
+        const double dl2m = obsDelta(l2.misses, p.l2Misses[a]);
+        obsVals_[i++] = safeDiv(dl2h, dl2h + dl2m);
+        p.l2Hits[a] = l2.hits;
+        p.l2Misses[a] = l2.misses;
+
+        obsVals_[i++] = static_cast<double>(tokens_.tokens(a));
+        obsVals_[i++] =
+            static_cast<double>(walker_.activeWalksFor(a));
+        obsVals_[i++] = static_cast<double>(quota_.silverQuota(a));
+        obsVals_[i++] = quota_.pressure(a);
+
+        obsVals_[i++] = safeDiv(obsDelta(appInstr_[a], p.instr[a]),
+                                static_cast<double>(dt));
+        p.instr[a] = appInstr_[a];
+    }
+
+    obsVals_[i++] = static_cast<double>(walkStartQueue_.size());
+
+    std::uint64_t walk_acc = 0;
+    for (std::uint32_t lvl = 1; lvl <= L2BypassPolicy::kMaxLevel;
+         ++lvl) {
+        walk_acc += l2Policy_
+                        .stats(static_cast<std::uint8_t>(lvl))
+                        .accesses();
+    }
+    const std::uint64_t byp = l2Policy_.bypasses();
+    // Bypassed lookups never probe the L2, so the stats denominators
+    // exclude them; the fraction is bypasses / (lookups + bypasses).
+    const double dbyp = obsDelta(byp, p.bypasses);
+    const double dwalk = obsDelta(walk_acc, p.walkAcc);
+    obsVals_[i++] = safeDiv(dbyp, dwalk + dbyp);
+    p.bypasses = byp;
+    p.walkAcc = walk_acc;
+
+    // The live bypass decision is hitRate(level) < hitRate(0),
+    // computed WITHOUT shouldBypass(): that call advances the
+    // sampling-probe countdown, which is serialized machine state.
+    const double data_rate = l2Policy_.hitRate(0);
+    for (std::uint32_t lvl = 1; lvl <= L2BypassPolicy::kMaxLevel;
+         ++lvl) {
+        obsVals_[i++] =
+            l2Policy_.hitRate(static_cast<std::uint8_t>(lvl)) <
+                    data_rate
+                ? 1.0
+                : 0.0;
+    }
+
+    for (std::uint32_t c = 0; c < dram_.numChannels(); ++c) {
+        const DramChannel &ch = dram_.channel(c);
+        obsVals_[i++] = static_cast<double>(ch.queuedRequests());
+        const DramChannelStats &s = ch.stats();
+        const std::uint64_t acc =
+            s.rowHits + s.rowMisses + s.rowConflicts;
+        obsVals_[i++] = safeDiv(obsDelta(s.rowHits, p.rowHits[c]),
+                                obsDelta(acc, p.rowAcc[c]));
+        p.rowHits[c] = s.rowHits;
+        p.rowAcc[c] = acc;
+        for (std::size_t q = 0; q < 3; ++q) {
+            const std::uint64_t n = ch.servicedFromQueue(q);
+            obsVals_[i++] = obsDelta(n, p.issued[q][c]);
+            p.issued[q][c] = n;
+        }
+    }
+
+    obsLastSample_ = cycle;
+    obsTs_->record(cycle, obsVals_);
+}
+
+void
+Gpu::obsEpochPre()
+{
+    obsEpochTokens_.resize(apps_.size());
+    for (AppId a = 0; a < apps_.size(); ++a)
+        obsEpochTokens_[a] = tokens_.tokens(a);
+}
+
+void
+Gpu::obsEpochPost()
+{
+    if (obsTrace_->wants(obs::TraceCat::kQuota)) {
+        obsTrace_->instant(
+            obs::TraceCat::kQuota, "epoch", 0, now_,
+            {{"epoch",
+              static_cast<std::int64_t>(tokens_.epochsDone())}});
+    }
+    if (obsTrace_->wants(obs::TraceCat::kTlb)) {
+        for (AppId a = 0; a < apps_.size(); ++a) {
+            const std::uint32_t cur = tokens_.tokens(a);
+            if (cur == obsEpochTokens_[a])
+                continue;
+            obsTrace_->instant(
+                obs::TraceCat::kTlb, "tokens",
+                static_cast<std::uint32_t>(a) + 1, now_,
+                {{"tokens", static_cast<std::int64_t>(cur)},
+                 {"dir", tokens_.lastDirection(a)}});
+        }
+    }
+    if (obsTrace_->wants(obs::TraceCat::kWalk)) {
+        // Same countdown-free decision readout as obsSampleAt().
+        const double data_rate = l2Policy_.hitRate(0);
+        for (std::uint32_t lvl = 1; lvl <= L2BypassPolicy::kMaxLevel;
+             ++lvl) {
+            const bool on =
+                l2Policy_.hitRate(static_cast<std::uint8_t>(lvl)) <
+                data_rate;
+            if (on == obsBypassOn_[lvl])
+                continue;
+            obsBypassOn_[lvl] = on;
+            obsTrace_->instant(
+                obs::TraceCat::kWalk, "bypass_flip", 0, now_,
+                {{"level", static_cast<std::int64_t>(lvl)},
+                 {"on", on ? 1 : 0}});
+        }
+    }
+}
+
+void
+Gpu::obsFlush()
+{
+    if (obsTs_ != nullptr)
+        obsTs_->flush();
+    if (obsTrace_ != nullptr)
+        obsTrace_->flush();
+}
+
+void
+Gpu::obsFinish()
+{
+    if (obsTs_ != nullptr)
+        obsTs_->flush();
+    if (obsTrace_ != nullptr)
+        obsTrace_->close();
+    if (profileStages_ && !obsStageProfilePath_.empty())
+        obsWriteStageProfile();
+}
+
+void
+Gpu::obsWriteStageProfile()
+{
+    // Stage times are host wall-clock: they share the registry
+    // schema (DESIGN.md §13) but never a file with the deterministic
+    // timeseries. Interval 0 = aperiodic; one row at shutdown.
+    obs::SeriesRegistry reg;
+    for (std::size_t s = 0; s < kNumStages; ++s) {
+        reg.add({std::string("stage_seconds.") + stageName(s),
+                 "seconds", -1, "counter",
+                 "wall-clock spent in the tickOne stage"});
+    }
+    for (std::size_t s = 0; s < kNumStages; ++s) {
+        reg.add({std::string("stage_calls.") + stageName(s), "count",
+                 -1, "counter", "invocations of the tickOne stage"});
+    }
+    obs::TimeseriesWriter w(obsStageProfilePath_, std::move(reg), 0,
+                            4, "mask-stage-profile");
+    std::vector<double> vals;
+    vals.reserve(2 * kNumStages);
+    for (std::size_t s = 0; s < kNumStages; ++s)
+        vals.push_back(stageSeconds_[s]);
+    for (std::size_t s = 0; s < kNumStages; ++s)
+        vals.push_back(static_cast<double>(stageCalls_[s]));
+    w.record(now_, vals);
 }
 
 // ---------------------------------------------------------------------
@@ -2098,6 +2508,17 @@ Gpu::deserialize(StateReader &r)
     // cycle (policy state is deliberately not part of the snapshot).
     if (ckptInterval_ != 0 && ckptFn_)
         nextCkpt_ = now_ + ckptInterval_;
+
+    // Observability state is host-side and never serialized: re-arm
+    // the sampler at the smallest interval multiple >= the restored
+    // cycle (the saving run stops before ticking it, so a save/resume
+    // pair emits each boundary row exactly once) and re-capture the
+    // delta baselines from the restored counters.
+    if (obsTs_ != nullptr) {
+        obsTs_->rearm(now_);
+        obsLastSample_ = now_;
+        obsCaptureBaseline();
+    }
 }
 
 } // namespace mask

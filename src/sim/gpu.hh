@@ -43,6 +43,11 @@
 
 namespace mask {
 
+namespace obs {
+class TimeseriesWriter;
+class TraceWriter;
+} // namespace obs
+
 /** One application to run on the GPU. */
 struct AppDesc
 {
@@ -285,6 +290,17 @@ class Gpu
     {
         ckptBytes_ += bytes;
     }
+
+    // --- Observability (DESIGN.md §13) ---
+
+    /** Flush the timeseries ring and trace ring to their files (the
+     *  destructor also does this; tests use it to read mid-run). */
+    void obsFlush();
+
+    /** The timeseries writer, if MASK_TIMESERIES is active. */
+    obs::TimeseriesWriter *timeseries() { return obsTs_.get(); }
+    /** The event tracer, if MASK_TRACE is active. */
+    obs::TraceWriter *tracer() { return obsTrace_.get(); }
 
   private:
     struct AppContext
@@ -615,6 +631,49 @@ class Gpu
     bool profileStages_ = false;
     double stageSeconds_[kNumStages] = {};
     std::uint64_t stageCalls_[kNumStages] = {};
+
+    // --- Observability (DESIGN.md §13; host-side, never serialized,
+    // excluded from configFingerprint) ---
+
+    /** Resolve env/override options, build the series registry, open
+     *  the writers; called once at construction. */
+    void obsInit();
+    /** Gather every gauge and record one timeseries row stamped
+     *  @p cycle (state as of the end of that cycle). */
+    void obsSampleAt(Cycle cycle);
+    /** Re-capture the interval-delta baselines from the live
+     *  counters (after resetStats / restore / construction). */
+    void obsCaptureBaseline();
+    /** Trace/sample bookkeeping for an epoch boundary; runs inside
+     *  stageEpoch around the controller updates. */
+    void obsEpochPre();
+    void obsEpochPost();
+    /** Flush writers and export the stage profile (destructor). */
+    void obsFinish();
+    void obsWriteStageProfile();
+
+    std::unique_ptr<obs::TimeseriesWriter> obsTs_;
+    std::unique_ptr<obs::TraceWriter> obsTrace_;
+    std::string obsStageProfilePath_;
+    std::vector<double> obsVals_;  //!< scratch row (registry order)
+    Cycle obsLastSample_ = 0;      //!< previous sample/reset cycle
+    /** Interval-delta baselines (cumulative counters at the previous
+     *  sample). One slot per app unless noted. */
+    struct ObsBaseline
+    {
+        std::vector<std::uint64_t> l1Hits, l1Misses;
+        std::vector<std::uint64_t> l2Hits, l2Misses;
+        std::vector<std::uint64_t> instr;
+        std::vector<std::uint64_t> rowHits, rowAcc;    //!< per channel
+        std::vector<std::uint64_t> issued[3];          //!< per channel
+        std::uint64_t bypasses = 0;
+        std::uint64_t walkAcc = 0; //!< L2 lookups at walk levels 1..4
+    } obsPrev_;
+    /** Per-level L2 bypass decision at the last epoch boundary
+     *  (levels 1..kMaxLevel; index 0 unused), for flip instants. */
+    bool obsBypassOn_[5] = {};
+    /** Pre-epoch token counts scratch (obsEpochPre/Post). */
+    std::vector<std::uint32_t> obsEpochTokens_;
     // Deterministic work counters feeding GpuStats (host-side; never
     // serialized — a restored run re-counts only its own work).
     std::uint64_t dataRetryProbes_ = 0;

@@ -1,9 +1,14 @@
 #include "sim/runner.hh"
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+
+#include <sys/stat.h>
 
 #include "metrics/metrics.hh"
+#include "obs/registry.hh"
 #include "sim/presets.hh"
 #include "sim/snapshot.hh"
 
@@ -67,6 +72,42 @@ captureCrash(const GpuConfig &arch, DesignPoint point,
     throw err;
 }
 
+/**
+ * Per-job observability override (DESIGN.md §13): when
+ * MASK_SWEEP_OBS_DIR is set, every shared run writes its timeseries
+ * and trace to <dir>/<design>+<benches>.{timeseries.jsonl,trace.json}
+ * instead of the global MASK_TIMESERIES/MASK_TRACE paths, so
+ * concurrent sweep jobs never clobber each other. Interval, category
+ * filter and ring sizes still come from the environment. Returns null
+ * (no override) when the knob is unset.
+ */
+std::unique_ptr<obs::ScopedObsOverride>
+makeJobObsOverride(DesignPoint point,
+                   const std::vector<std::string> &benches)
+{
+    const char *dir = std::getenv("MASK_SWEEP_OBS_DIR");
+    if (dir == nullptr || dir[0] == '\0')
+        return nullptr;
+    ::mkdir(dir, 0777); // best-effort; fopen reports real failures
+
+    std::string tag = designPointName(point);
+    for (const auto &b : benches) {
+        tag += "+";
+        tag += b;
+    }
+    for (char &c : tag) {
+        if (!(std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+              c == '-' || c == '_' || c == '.' || c == '+'))
+            c = '_';
+    }
+
+    obs::ObsOptions opts = obs::obsOptionsFromEnv();
+    const std::string base = std::string(dir) + "/" + tag;
+    opts.timeseriesPath = base + ".timeseries.jsonl";
+    opts.tracePath = base + ".trace.json";
+    return std::make_unique<obs::ScopedObsOverride>(std::move(opts));
+}
+
 } // namespace
 
 double
@@ -114,6 +155,9 @@ Evaluator::runShared(const GpuConfig &arch, DesignPoint point,
                      const std::vector<std::string> &bench_names)
 {
     const GpuConfig cfg = applyDesignPoint(arch, point);
+    // Alive for the whole run: the Gpu resolves its obs options at
+    // construction, including rebuilds inside runWithCheckpoints.
+    const auto obs_override = makeJobObsOverride(point, bench_names);
     // A hard crash (SIGSEGV/SIGABRT/...) during this run flushes the
     // same repro record an invariant failure would, via the
     // fatal-signal handlers — plus the last emergency checkpoint when
@@ -161,6 +205,10 @@ Evaluator::aloneIpc(const GpuConfig &arch, DesignPoint point,
                             std::to_string(options_.warmup) + "/" +
                             std::to_string(options_.measure);
     return aloneCache_->getOrCompute(key, [&]() {
+        // Alone runs are memoized across jobs and threads; their
+        // telemetry would race the shared runs' files, so the obs
+        // layer is disabled for them (empty paths = everything off).
+        const obs::ScopedObsOverride no_obs{obs::ObsOptions{}};
         const ScopedSignalRepro armed(
             makeRepro(cfg, point, {bench}, options_.warmup,
                       options_.measure),
