@@ -122,9 +122,32 @@ failedCell(const SweepRunner &sweep, std::size_t index)
            sweepStatusName(sweep.outcome(index).status) + ")";
 }
 
+void
+reportWarmCache(const SweepRunner &sweep)
+{
+    if (sweep.warmCache() == nullptr)
+        return;
+    const WarmStateCache::Stats warm = sweep.warmStats();
+    std::fprintf(stderr,
+                 "[warm] %llu hit%s, %llu miss%s, %llu warmup cycles "
+                 "saved (%llu bypassed, %llu fallback%s, %llu "
+                 "evicted)\n",
+                 static_cast<unsigned long long>(warm.hits),
+                 warm.hits == 1 ? "" : "s",
+                 static_cast<unsigned long long>(warm.misses),
+                 warm.misses == 1 ? "" : "es",
+                 static_cast<unsigned long long>(
+                     warm.warmupCyclesSaved),
+                 static_cast<unsigned long long>(warm.bypasses),
+                 static_cast<unsigned long long>(warm.fallbacks),
+                 warm.fallbacks == 1 ? "" : "s",
+                 static_cast<unsigned long long>(warm.evictions));
+}
+
 std::size_t
 reportFailures(const SweepRunner &sweep)
 {
+    reportWarmCache(sweep);
     const std::size_t failed = sweep.failedJobs();
     if (failed == 0)
         return 0;

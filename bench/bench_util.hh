@@ -72,9 +72,18 @@ std::string failedCell(const SweepRunner &sweep, std::size_t index);
 /**
  * Print one stdout line per failed job (index, status, error, repro
  * path if harvested) plus a summary; silent when every job completed.
- * Returns the number of failed jobs so benches can flag the run.
+ * Also emits the warm-cache footer (reportWarmCache). Returns the
+ * number of failed jobs so benches can flag the run.
  */
 std::size_t reportFailures(const SweepRunner &sweep);
+
+/**
+ * Warm-cache summary footer to stderr (hits/misses/warmup cycles
+ * saved); silent when the warm cache is disabled. Stderr, not stdout:
+ * bench stdout is byte-compared warm-on vs warm-off by determinism
+ * leg 12, and cache hit counts legitimately differ between the legs.
+ */
+void reportWarmCache(const SweepRunner &sweep);
 
 } // namespace bench
 } // namespace mask

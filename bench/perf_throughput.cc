@@ -10,11 +10,13 @@
  */
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 
 #include "bench_util.hh"
 #include "metrics/metrics.hh"
 #include "sim/gpu.hh"
+#include "sim/sweep_io.hh"
 
 using namespace mask;
 
@@ -100,6 +102,85 @@ runCheckpointed(Evaluator &eval, const GpuConfig &arch,
     return stats;
 }
 
+/**
+ * Warm-start sweep A/B: a measure-length grid whose four jobs share
+ * one warmup fingerprint, run with the warm cache off then on. The
+ * off leg simulates the (deliberately warmup-heavy) prefix four
+ * times, the on leg once — wall-clock ratio and the warm counters go
+ * to BENCH_throughput.json; the legs' results are byte-compared so a
+ * speedup can never come at the cost of determinism.
+ */
+void
+runWarmSweep(const GpuConfig &arch,
+             const std::vector<std::string> &names)
+{
+    using Clock = std::chrono::steady_clock;
+    const RunOptions base = bench::benchOptions();
+    RunOptions grid;
+    grid.warmup = base.measure; // shared prefix dominates the grid
+    grid.measure = base.measure;
+    const std::vector<Cycle> measures = {
+        std::max<Cycle>(1, base.measure / 4),
+        std::max<Cycle>(1, base.measure / 2),
+        std::max<Cycle>(1, 3 * base.measure / 4),
+        base.measure,
+    };
+
+    WarmStateCache::Stats warm_stats;
+    auto leg = [&](bool warm_on, std::vector<std::string> &blobs) {
+        SweepRunner sweep(grid, bench::benchJobs());
+        WarmPolicy policy;
+        policy.enabled = warm_on;
+        sweep.setWarmPolicy(policy);
+        std::vector<std::size_t> ids;
+        for (const Cycle m : measures) {
+            RunOptions options = grid;
+            options.measure = m;
+            SweepJob job;
+            job.arch = arch;
+            job.point = DesignPoint::Mask;
+            job.benches = names;
+            job.mode = SweepMode::SharedOnly;
+            job.options = options;
+            ids.push_back(sweep.submit(std::move(job)));
+        }
+        const auto t0 = Clock::now();
+        sweep.run();
+        const double seconds =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+        for (const std::size_t id : ids)
+            blobs.push_back(encodePairResult(sweep.result(id)));
+        if (warm_on)
+            warm_stats = sweep.warmStats();
+        return seconds;
+    };
+
+    std::vector<std::string> off_blobs;
+    std::vector<std::string> on_blobs;
+    bench::progress("perf warm-sweep (cache off)");
+    const double off_seconds = leg(false, off_blobs);
+    bench::progress("perf warm-sweep (cache on)");
+    const double on_seconds = leg(true, on_blobs);
+    const bool identical = off_blobs == on_blobs;
+    if (!identical)
+        bench::progress("warm-sweep: WARM RESULTS DIVERGED");
+
+    std::printf(
+        "{\"case\": \"warm-sweep\", \"design\": \"mask\","
+        " \"apps\": %zu, \"grid_points\": %zu,"
+        " \"warmup_cycles\": %llu, \"warm_off_seconds\": %.4f,"
+        " \"warm_on_seconds\": %.4f, \"warm_speedup\": %.3f,"
+        " \"warm_hits\": %llu, \"warm_misses\": %llu,"
+        " \"warmup_cycles_saved\": %llu, \"warm_identical\": %s}\n",
+        names.size(), measures.size(),
+        static_cast<unsigned long long>(grid.warmup), off_seconds,
+        on_seconds, safeDiv(off_seconds, on_seconds),
+        static_cast<unsigned long long>(warm_stats.hits),
+        static_cast<unsigned long long>(warm_stats.misses),
+        static_cast<unsigned long long>(warm_stats.warmupCyclesSaved),
+        identical ? "true" : "false");
+}
+
 int
 run()
 {
@@ -132,6 +213,9 @@ run()
     bench::progress("perf pair-mask-ckpt");
     emit("pair-mask-ckpt", DesignPoint::Mask, names,
          runCheckpointed(eval, arch, DesignPoint::Mask, names));
+
+    // Warm-start sweep A/B (DESIGN.md §14).
+    runWarmSweep(arch, names);
     return 0;
 }
 

@@ -18,6 +18,11 @@
 #     forced on and records the snapshot cost: ckpt_writes,
 #     ckpt_bytes (total snapshot bytes written), ckpt_write_seconds,
 #     and ckpt_overhead (fraction of wall time spent serializing).
+#     The "warm-sweep" case A/B-times a 4-point measure-length grid
+#     with the warm-start cache off vs on (warm_off_seconds,
+#     warm_on_seconds, warm_speedup, warm_hits/misses,
+#     warmup_cycles_saved) and byte-compares the two legs' results
+#     (warm_identical) -- see DESIGN.md section 14.
 #   "sweep": fig11 wall-clock serial (MASK_BENCH_JOBS=1) vs parallel
 #     (MASK_BENCH_JOBS=<nproc>) and the resulting speedup. The speedup
 #     scales with hardware threads; on a single-CPU host the parallel
@@ -56,6 +61,19 @@ now_secs() { date +%s.%N; }
 echo "== perf_throughput (hot-path cycles/sec) =="
 PERF_LINES="$("$PERF_BIN" 2>/dev/null)"
 echo "$PERF_LINES"
+
+# Surface the warm-sweep A/B verdict in the console output (the full
+# JSON line flows into the history file with the rest of PERF_LINES).
+WARM_LINE="$(echo "$PERF_LINES" | grep '"case": "warm-sweep"' || true)"
+if [ -n "$WARM_LINE" ]; then
+    WARM_SPEEDUP="$(echo "$WARM_LINE" | sed -n 's/.*"warm_speedup": \([0-9.]*\).*/\1/p')"
+    WARM_IDENTICAL="$(echo "$WARM_LINE" | sed -n 's/.*"warm_identical": \(true\|false\).*/\1/p')"
+    echo "== warm-start sweep: speedup ${WARM_SPEEDUP}x, identical=${WARM_IDENTICAL} =="
+    if [ "$WARM_IDENTICAL" != "true" ]; then
+        echo "error: warm-forked sweep results diverged from fresh run" >&2
+        exit 1
+    fi
+fi
 
 if [ "$JOBS" -gt 1 ]; then
     echo "== fig11 sweep: serial vs MASK_BENCH_JOBS=$JOBS =="

@@ -212,3 +212,55 @@ if ! diff -ru "$obs_a" "$obs_b"; then
     exit 1
 fi
 echo "deterministic: telemetry on leaves stdout unchanged; obs files byte-identical across runs"
+
+# Warm-start sweep execution (DESIGN.md §14) must be a pure
+# optimization: forking warmed snapshots instead of re-running warmup
+# may not change a single simulated byte. Three variants against the
+# same baseline: in-memory warm cache, file-backed warm cache under
+# fork isolation with parallel children, and a crash-resume where both
+# the journal AND the warm files persist across the two processes.
+echo "== run 12a (warm cache, in-memory) =="
+MASK_BENCH_FAST=1 MASK_BENCH_PAIRS=4 MASK_BENCH_JOBS=1 \
+    MASK_SWEEP_WARM=1 "$BIN" >"$out_b" 2>/dev/null
+
+if ! diff -u "$out_a" "$out_b"; then
+    echo "DETERMINISM FAILURE: warm-start run diverged from cold run" >&2
+    exit 1
+fi
+echo "deterministic: MASK_SWEEP_WARM=1 byte-identical to cold sweep"
+
+echo "== run 12b (warm cache, file-backed + fork isolation) =="
+warm_dir="$ckpt_dir/warm"
+MASK_BENCH_FAST=1 MASK_BENCH_PAIRS=4 MASK_BENCH_JOBS=2 \
+    MASK_SWEEP_ISOLATE=1 MASK_SWEEP_WARM_DIR="$warm_dir" \
+    "$BIN" >"$out_b" 2>/dev/null
+
+if ! diff -u "$out_a" "$out_b"; then
+    echo "DETERMINISM FAILURE: fork-isolated warm run diverged from cold run" >&2
+    exit 1
+fi
+echo "deterministic: warm files + isolation byte-identical to cold sweep"
+
+echo "== run 12c (killed mid-sweep, journal + warm files resume) =="
+rm -f "$journal"
+rm -rf "$warm_dir"
+if MASK_BENCH_FAST=1 MASK_BENCH_PAIRS=4 MASK_BENCH_JOBS=1 \
+    MASK_SWEEP_JOURNAL="$journal" MASK_SWEEP_FAULT_CRASH=20 \
+    MASK_SWEEP_WARM_DIR="$warm_dir" \
+    MASK_REPRO_FILE="$repro" "$BIN" >/dev/null 2>&1; then
+    echo "DETERMINISM FAILURE: injected crash did not kill the sweep" >&2
+    exit 1
+fi
+if ! ls "$warm_dir"/*.snap >/dev/null 2>&1; then
+    echo "DETERMINISM FAILURE: no warm snapshots written before the crash" >&2
+    exit 1
+fi
+MASK_BENCH_FAST=1 MASK_BENCH_PAIRS=4 MASK_BENCH_JOBS=1 \
+    MASK_SWEEP_JOURNAL="$journal" MASK_SWEEP_WARM_DIR="$warm_dir" \
+    "$BIN" >"$out_b" 2>/dev/null
+
+if ! diff -u "$out_a" "$out_b"; then
+    echo "DETERMINISM FAILURE: warm+journal resume diverged from uninterrupted run" >&2
+    exit 1
+fi
+echo "deterministic: journal + warm-file resume byte-identical to uninterrupted run"

@@ -311,6 +311,30 @@ DesignPoint designPointByName(const std::string &name);
  */
 std::uint64_t configFingerprint(const GpuConfig &cfg);
 
+/**
+ * Warmup fingerprint: a hash over ONLY the fields that affect
+ * behaviour during cycles < warmup (workload geometry, seed, design
+ * selection, structure sizes, timing, hardening). Two configs with
+ * equal warmup fingerprints simulate identical warmup prefixes, so a
+ * snapshot taken at the warmup boundary of one forks into measure
+ * phases of the others (DESIGN.md §14) — the warm-state cache keys on
+ * this together with the bench list and the warmup length.
+ *
+ * Field classification rules (enforced by the exhaustiveness test in
+ * tests/test_sweep_warm.cc, which fails whenever a GpuConfig field is
+ * added without being classified here):
+ *
+ *  - warmup-affecting: any field the simulated machine reads before
+ *    the measurement window starts. Today that is every behavioural
+ *    field — the measurement length, checkpoint, observability and
+ *    sweep knobs all live OUTSIDE GpuConfig (RunOptions / MASK_CKPT_*
+ *    / MASK_TIMESERIES* / MASK_SWEEP_*).
+ *  - measure-only / behaviour-neutral: excluded. Currently `name`
+ *    (free-form label) and `cycleSkip` (the event-driven loop is
+ *    bit-identical to per-cycle stepping by contract).
+ */
+std::uint64_t warmupFingerprint(const GpuConfig &cfg);
+
 /** Maxwell-like baseline architecture (paper Table 1). */
 GpuConfig maxwellConfig();
 

@@ -61,6 +61,14 @@ class SnapshotError : public std::runtime_error
 class StateWriter
 {
   public:
+    /**
+     * Pre-reserve the output buffer. Periodic checkpointing passes
+     * the previous snapshot's payload size so a multi-megabyte
+     * serialization appends into one allocation instead of growing
+     * through the realloc ladder.
+     */
+    void reserve(std::size_t bytes) { out_.reserve(bytes); }
+
     /** Structural marker verified by StateReader::tag. */
     void tag(const char *name);
 

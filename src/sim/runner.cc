@@ -11,6 +11,7 @@
 #include "obs/registry.hh"
 #include "sim/presets.hh"
 #include "sim/snapshot.hh"
+#include "sim/sweep.hh"
 
 namespace mask {
 
@@ -108,7 +109,74 @@ makeJobObsOverride(DesignPoint point,
     return std::make_unique<obs::ScopedObsOverride>(std::move(opts));
 }
 
+/**
+ * True when the effective observability options would write any file
+ * during this run. Warm starts skip the warmup window, which would
+ * silently truncate those outputs — warm-eligible runs must be
+ * obs-silent (alone runs always are: they install an empty override).
+ */
+bool
+obsSinksActive()
+{
+    const obs::ObsOptions opts = obs::resolveObsOptions();
+    return opts.timeseriesOn() || opts.traceOn();
+}
+
 } // namespace
+
+std::string
+runWarmup(const GpuConfig &cfg,
+          const std::vector<std::string> &bench_names, Cycle warmup)
+{
+    Gpu gpu(cfg, toAppDescs(bench_names));
+    gpu.run(warmup);
+    return renderSnapshot(warmupFingerprint(cfg), gpu);
+}
+
+GpuStats
+runMeasureFrom(std::string_view image, const GpuConfig &cfg,
+               const std::vector<std::string> &bench_names,
+               Cycle warmup, Cycle measure)
+{
+    std::uint64_t cycle = SnapshotError::kNoCycle;
+    const std::string_view payload = validateSnapshotImage(
+        image, warmupFingerprint(cfg), &cycle);
+    if (cycle != warmup)
+        throw SnapshotError("warm snapshot cycle " +
+                                std::to_string(cycle) +
+                                " does not match warmup window " +
+                                std::to_string(warmup),
+                            "header", cycle);
+    Gpu gpu(cfg, toAppDescs(bench_names));
+    StateReader reader(payload, cycle);
+    gpu.deserialize(reader);
+    gpu.resetStats();
+    gpu.run(measure);
+    return gpu.collect();
+}
+
+std::string
+warmStateKey(std::uint64_t warmup_fingerprint,
+             const std::vector<std::string> &bench_names, Cycle warmup)
+{
+    // Filename-safe by construction: the key doubles as the basename
+    // of file-backed warm snapshots under MASK_SWEEP_WARM_DIR.
+    char fp_hex[24];
+    std::snprintf(fp_hex, sizeof(fp_hex), "%016llx",
+                  static_cast<unsigned long long>(warmup_fingerprint));
+    std::string key = "warm_";
+    key += fp_hex;
+    for (const std::string &bench : bench_names) {
+        key += '_';
+        for (const char c : bench) {
+            key += std::isalnum(static_cast<unsigned char>(c)) != 0
+                       ? c
+                       : '-';
+        }
+    }
+    key += '_' + std::to_string(warmup);
+    return key;
+}
 
 double
 AloneIpcCache::getOrCompute(const std::string &key,
@@ -168,6 +236,36 @@ Evaluator::runShared(const GpuConfig &arch, DesignPoint point,
         reproFilePath());
     try {
         const CheckpointPolicy ckpt = checkpointPolicyFromEnv();
+        if (warm_ != nullptr) {
+            // Warm-eligible runs fork a shared warmed snapshot and
+            // simulate only the measure window. Checkpointed or
+            // obs-instrumented runs bypass: checkpoint resume owns the
+            // snapshot files, and obs sinks must cover warmup too.
+            if (ckpt.enabled() || obsSinksActive()) {
+                warm_->noteBypass();
+            } else {
+                const std::string key =
+                    warmStateKey(warmupFingerprint(cfg), bench_names,
+                                 options_.warmup);
+                const std::string image = warm_->getOrWarm(
+                    key, options_.warmup, [&]() {
+                        return runWarmup(cfg, bench_names,
+                                         options_.warmup);
+                    });
+                try {
+                    return runMeasureFrom(image, cfg, bench_names,
+                                          options_.warmup,
+                                          options_.measure);
+                } catch (const SnapshotError &err) {
+                    std::fprintf(stderr,
+                                 "mask: warm state %s rejected (%s); "
+                                 "falling back to a fresh run\n",
+                                 key.c_str(), err.what());
+                    warm_->invalidate(key);
+                    warm_->noteFallback();
+                }
+            }
+        }
         const std::uint64_t fp = configFingerprint(cfg);
         const std::string path =
             ckpt.enabled()
@@ -215,6 +313,37 @@ Evaluator::aloneIpc(const GpuConfig &arch, DesignPoint point,
             reproFilePath());
         try {
             const CheckpointPolicy ckpt = checkpointPolicyFromEnv();
+            if (warm_ != nullptr) {
+                // Alone runs are always obs-silent (no_obs above), so
+                // only checkpointing forces a bypass here.
+                if (ckpt.enabled()) {
+                    warm_->noteBypass();
+                } else {
+                    const std::string key = warmStateKey(
+                        warmupFingerprint(cfg),
+                        std::vector<std::string>{bench},
+                        options_.warmup);
+                    const std::string image = warm_->getOrWarm(
+                        key, options_.warmup, [&]() {
+                            return runWarmup(cfg, {bench},
+                                             options_.warmup);
+                        });
+                    try {
+                        return runMeasureFrom(image, cfg, {bench},
+                                              options_.warmup,
+                                              options_.measure)
+                            .ipc[0];
+                    } catch (const SnapshotError &err) {
+                        std::fprintf(
+                            stderr,
+                            "mask: warm state %s rejected (%s); "
+                            "falling back to a fresh run\n",
+                            key.c_str(), err.what());
+                        warm_->invalidate(key);
+                        warm_->noteFallback();
+                    }
+                }
+            }
             const std::uint64_t fp = configFingerprint(cfg);
             const std::string path =
                 ckpt.enabled()

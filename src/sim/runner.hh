@@ -11,11 +11,13 @@
 #define MASK_SIM_RUNNER_HH
 
 #include <condition_variable>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/config.hh"
@@ -82,6 +84,42 @@ class AloneIpcCache
     std::map<std::string, Slot> slots_;
 };
 
+// --- Warm-start execution split (DESIGN.md §14) ----------------------
+
+/**
+ * Run only the warmup window of (cfg, bench_names) on a fresh Gpu and
+ * render its snapshot image. The header carries warmupFingerprint(cfg)
+ * — not configFingerprint — because any configuration with the same
+ * warmup fingerprint may legally restore this image (they diverge only
+ * in measure-only knobs).
+ */
+std::string runWarmup(const GpuConfig &cfg,
+                      const std::vector<std::string> &bench_names,
+                      Cycle warmup);
+
+/**
+ * Restore @p image into a fresh Gpu built from @p cfg and run only the
+ * measurement window. Byte-identical to
+ * run(warmup); resetStats(); run(measure) on the same configuration
+ * (determinism leg 12 enforces this). Throws SnapshotError when the
+ * image fails validation against warmupFingerprint(cfg) or its header
+ * cycle differs from @p warmup — callers fall back to a fresh run.
+ */
+GpuStats runMeasureFrom(std::string_view image, const GpuConfig &cfg,
+                        const std::vector<std::string> &bench_names,
+                        Cycle warmup, Cycle measure);
+
+/**
+ * Cache key of the warmed state shared by every job whose config maps
+ * to @p warmup_fingerprint with workload @p bench_names and warmup
+ * window @p warmup. Also the basename of file-backed warm snapshots.
+ */
+std::string warmStateKey(std::uint64_t warmup_fingerprint,
+                         const std::vector<std::string> &bench_names,
+                         Cycle warmup);
+
+class WarmStateCache; // sim/sweep.hh
+
 /** Runner with an alone-IPC cache shared across evaluations. */
 class Evaluator
 {
@@ -121,9 +159,28 @@ class Evaluator
     /** Distinct alone runs memoized so far (cache observability). */
     std::size_t aloneCacheSize() const { return aloneCache_->size(); }
 
+    /**
+     * Share @p warm across evaluations: shared and alone runs then
+     * fork warmed snapshots instead of re-running warmup whenever the
+     * run is warm-eligible (no MASK_CKPT_* checkpointing, no active
+     * observability sinks). Null (the default) disables warm starts —
+     * every run then simulates from cycle 0, exactly as before.
+     */
+    void setWarmCache(std::shared_ptr<WarmStateCache> warm)
+    {
+        warm_ = std::move(warm);
+    }
+
+    /** Warm-state cache in use, or null. */
+    const std::shared_ptr<WarmStateCache> &warmCache() const
+    {
+        return warm_;
+    }
+
   private:
     RunOptions options_;
     std::shared_ptr<AloneIpcCache> aloneCache_;
+    std::shared_ptr<WarmStateCache> warm_;
 };
 
 /**

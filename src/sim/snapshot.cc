@@ -9,6 +9,7 @@
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <utility>
 
 #include <fcntl.h>
 #include <sys/stat.h>
@@ -71,21 +72,39 @@ nextToken(std::string_view line, std::size_t &pos)
     return line.substr(start, pos - start);
 }
 
-/** Write @p content to @p path via tmp + rename (atomic publish). */
+/**
+ * Write @p content to @p path via tmp + rename (atomic publish). The
+ * tmp file is written with one buffered write() on a raw fd — the
+ * image was already rendered into a single contiguous buffer, so
+ * there is nothing for stream buffering to batch.
+ */
 void
 writeFileAtomic(const std::string &path, const std::string &content)
 {
     const std::string tmp = path + ".tmp";
-    {
-        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-        if (!out)
-            throw std::runtime_error("cannot write snapshot file: " +
-                                     tmp);
-        out.write(content.data(),
-                  static_cast<std::streamsize>(content.size()));
-        if (!out)
-            throw std::runtime_error("short write to snapshot file: " +
-                                     tmp);
+    const int fd = ::open(tmp.c_str(),
+                          O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        throw std::runtime_error("cannot write snapshot file: " + tmp +
+                                 ": " + std::strerror(errno));
+    std::size_t done = 0;
+    while (done < content.size()) {
+        const ::ssize_t n = ::write(fd, content.data() + done,
+                                    content.size() - done);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0) {
+            ::close(fd);
+            std::remove(tmp.c_str());
+            throw std::runtime_error(
+                "short write to snapshot file: " + tmp);
+        }
+        done += static_cast<std::size_t>(n);
+    }
+    if (::close(fd) != 0) {
+        std::remove(tmp.c_str());
+        throw std::runtime_error("cannot write snapshot file: " + tmp +
+                                 ": " + std::strerror(errno));
     }
     if (std::rename(tmp.c_str(), path.c_str()) != 0) {
         std::remove(tmp.c_str());
@@ -94,20 +113,40 @@ writeFileAtomic(const std::string &path, const std::string &content)
     }
 }
 
+/**
+ * Payload size of the last snapshot rendered on this thread: the
+ * reserve hint for the next render. Periodic checkpoints of one run
+ * are near-constant size, so reserving the previous size (plus a
+ * small growth margin) makes serialization a single allocation.
+ */
+thread_local std::size_t tl_lastPayloadSize = 0;
+
 } // namespace
 
 std::string
 renderSnapshot(std::uint64_t config_fingerprint, const Gpu &gpu)
 {
     StateWriter writer;
+    if (tl_lastPayloadSize != 0)
+        writer.reserve(tl_lastPayloadSize + tl_lastPayloadSize / 16 +
+                       4096);
     gpu.serialize(writer);
     const std::string payload = writer.take();
+    tl_lastPayloadSize = payload.size();
 
-    std::ostringstream header;
-    header << kMagic << ' ' << kSnapshotVersion << ' '
-           << config_fingerprint << ' ' << gpu.now() << ' '
-           << payload.size() << ' ' << fnv1a64(payload) << '\n';
-    return header.str() + payload;
+    char header[128];
+    const int len = std::snprintf(
+        header, sizeof(header), "%s %llu %llu %llu %zu %llu\n", kMagic,
+        static_cast<unsigned long long>(kSnapshotVersion),
+        static_cast<unsigned long long>(config_fingerprint),
+        static_cast<unsigned long long>(gpu.now()), payload.size(),
+        static_cast<unsigned long long>(fnv1a64(payload)));
+
+    std::string image;
+    image.reserve(static_cast<std::size_t>(len) + payload.size());
+    image.append(header, static_cast<std::size_t>(len));
+    image.append(payload);
+    return image;
 }
 
 std::uint64_t
@@ -347,11 +386,10 @@ runWithCheckpoints(const std::function<std::unique_ptr<Gpu>()> &make_gpu,
 
     gpu->setCheckpointHook(
         policy.intervalCycles, [path, config_fingerprint](Gpu &g) {
-            const std::string image =
-                renderSnapshot(config_fingerprint, g);
+            std::string image = renderSnapshot(config_fingerprint, g);
             writeFileAtomic(path, image);
             g.noteCheckpointBytes(image.size());
-            publishEmergencySnapshot(image);
+            publishEmergencySnapshot(std::move(image));
         });
     const ScopedEmergencySnapshot emergency(sig_path);
 
@@ -439,6 +477,18 @@ publishEmergencySnapshot(const std::string &image)
     const int current = sink.ready.load(std::memory_order_relaxed);
     const int next = current == 0 ? 1 : 0;
     sink.buf[next] = image;
+    sink.ready.store(next, std::memory_order_release);
+}
+
+void
+publishEmergencySnapshot(std::string &&image)
+{
+    EmergencySink &sink = tl_emergency;
+    if (!sink.armed)
+        return;
+    const int current = sink.ready.load(std::memory_order_relaxed);
+    const int next = current == 0 ? 1 : 0;
+    sink.buf[next] = std::move(image);
     sink.ready.store(next, std::memory_order_release);
 }
 

@@ -176,6 +176,13 @@ class ScopedEmergencySnapshot
 void publishEmergencySnapshot(const std::string &image);
 
 /**
+ * Move-publish overload for the periodic checkpoint path: the caller
+ * is done with @p image, so the bytes move into the double buffer
+ * instead of being copied (snapshots run to megabytes).
+ */
+void publishEmergencySnapshot(std::string &&image);
+
+/**
  * Flush the calling thread's armed emergency snapshot, if any, to its
  * path with async-signal-safe calls only (open/write/close). Invoked
  * by the fatal-signal handlers in crash_repro.cc next to the repro

@@ -12,12 +12,14 @@
 
 #include <fcntl.h>
 #include <poll.h>
+#include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include "common/check.hh"
 #include "sim/cancel.hh"
 #include "sim/crash_repro.hh"
+#include "sim/snapshot.hh"
 #include "sim/sweep_io.hh"
 
 namespace mask {
@@ -187,6 +189,216 @@ sweepBackoffMs(const SweepPolicy &policy, unsigned attempt)
     return std::min(kCapMs, policy.backoffMs << attempt);
 }
 
+// ---------------------------------------------------------------------
+// Warm-state cache (DESIGN.md §14)
+// ---------------------------------------------------------------------
+
+WarmPolicy
+warmPolicyFromEnv()
+{
+    WarmPolicy policy;
+    if (const char *on = std::getenv("MASK_SWEEP_WARM");
+        on != nullptr && on[0] == '1') {
+        policy.enabled = true;
+    }
+    if (const char *dir = std::getenv("MASK_SWEEP_WARM_DIR");
+        dir != nullptr && dir[0] != '\0') {
+        policy.dir = dir;
+        policy.enabled = true;
+    }
+    policy.memCapBytes = static_cast<std::size_t>(
+                             envU64("MASK_SWEEP_WARM_MEM_MB", 256))
+                         << 20;
+    return policy;
+}
+
+namespace {
+
+/** Read @p path fully into @p out; false when it does not exist. */
+bool
+readWarmFile(const std::string &path, std::string &out)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return false;
+    out.clear();
+    char buf[1 << 16];
+    for (;;) {
+        const ::ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n > 0) {
+            out.append(buf, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        ::close(fd);
+        // A read error mid-file degrades to a miss: the caller
+        // re-produces the image and overwrites the file.
+        return n == 0;
+    }
+}
+
+/** Atomic tmp + rename publish (cross-process readers never see a
+ *  half-written warm snapshot; the pid suffix keeps concurrent
+ *  producers of the same key from clobbering each other's tmp). */
+void
+writeWarmFile(const std::string &path, const std::string &content)
+{
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    const int fd =
+        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0)
+        throw std::runtime_error("cannot write warm snapshot: " + tmp);
+    writeAllFd(fd, content);
+    if (::close(fd) != 0 ||
+        std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::remove(tmp.c_str());
+        throw std::runtime_error("cannot publish warm snapshot: " +
+                                 path);
+    }
+}
+
+} // namespace
+
+WarmStateCache::WarmStateCache(WarmPolicy policy)
+    : policy_(std::move(policy))
+{
+    if (!policy_.dir.empty())
+        ::mkdir(policy_.dir.c_str(), 0777); // best-effort; open reports
+}
+
+std::string
+WarmStateCache::filePath(const std::string &key) const
+{
+    return policy_.dir + "/" + key + ".snap";
+}
+
+std::string
+WarmStateCache::getOrWarm(const std::string &key, Cycle warmup_cycles,
+                          const std::function<std::string()> &produce)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        auto it = slots_.find(key);
+        if (it == slots_.end())
+            break; // this thread produces (or reads the file)
+        if (it->second.ready) {
+            lru_.splice(lru_.begin(), lru_, it->second.lru);
+            ++stats_.hits;
+            stats_.warmupCyclesSaved += warmup_cycles;
+            return it->second.image;
+        }
+        // Another thread is warming this key; if it fails the slot is
+        // erased and the loop falls through to retry.
+        ready_.wait(lock);
+    }
+    slots_.emplace(key, Slot{});
+    lock.unlock();
+
+    std::string image;
+    bool from_file = false;
+    try {
+        // A file left by another process (fork-isolated sibling, a
+        // previous journal-interrupted sweep) is as good as a memory
+        // hit — the consumer validates header + checksum either way.
+        if (!policy_.dir.empty())
+            from_file = readWarmFile(filePath(key), image);
+        if (!from_file)
+            image = produce();
+    } catch (...) {
+        lock.lock();
+        slots_.erase(key);
+        ready_.notify_all();
+        throw;
+    }
+    if (!from_file && !policy_.dir.empty()) {
+        try {
+            writeWarmFile(filePath(key), image);
+        } catch (const std::exception &err) {
+            // Disk trouble costs cross-process reuse, nothing else.
+            std::fprintf(stderr, "[sweep] %s\n", err.what());
+        }
+    }
+
+    lock.lock();
+    if (from_file) {
+        ++stats_.hits;
+        stats_.warmupCyclesSaved += warmup_cycles;
+    } else {
+        ++stats_.misses;
+    }
+    publishLocked(key, image);
+    ready_.notify_all();
+    return image;
+}
+
+void
+WarmStateCache::publishLocked(const std::string &key,
+                              const std::string &image)
+{
+    auto it = slots_.find(key);
+    if (it == slots_.end())
+        return; // invalidated while producing
+    if (policy_.memCapBytes != 0 &&
+        image.size() > policy_.memCapBytes) {
+        // Never memory-resident; the file (if any) still serves it.
+        slots_.erase(it);
+        return;
+    }
+    it->second.image = image;
+    it->second.ready = true;
+    lru_.push_front(key);
+    it->second.lru = lru_.begin();
+    memBytes_ += image.size();
+    while (policy_.memCapBytes != 0 && memBytes_ > policy_.memCapBytes &&
+           lru_.size() > 1) {
+        const std::string victim = lru_.back();
+        lru_.pop_back();
+        auto vit = slots_.find(victim);
+        if (vit != slots_.end()) {
+            memBytes_ -= vit->second.image.size();
+            slots_.erase(vit);
+        }
+        ++stats_.evictions;
+    }
+}
+
+void
+WarmStateCache::invalidate(const std::string &key)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto it = slots_.find(key);
+    if (it != slots_.end() && it->second.ready) {
+        memBytes_ -= it->second.image.size();
+        lru_.erase(it->second.lru);
+        slots_.erase(it);
+    }
+    if (!policy_.dir.empty())
+        ::unlink(filePath(key).c_str());
+}
+
+void
+WarmStateCache::noteBypass()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.bypasses;
+}
+
+void
+WarmStateCache::noteFallback()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.fallbacks;
+}
+
+WarmStateCache::Stats
+WarmStateCache::stats() const
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
 SweepRunner::SweepRunner(RunOptions options)
     : SweepRunner(options, sweepJobs())
 {}
@@ -195,7 +407,10 @@ SweepRunner::SweepRunner(RunOptions options, unsigned jobs)
     : options_(options), jobs_(jobs != 0 ? jobs : 1),
       policy_(sweepPolicyFromEnv()),
       cache_(std::make_shared<AloneIpcCache>())
-{}
+{
+    if (const WarmPolicy warm = warmPolicyFromEnv(); warm.enabled)
+        warm_ = std::make_shared<WarmStateCache>(warm);
+}
 
 SweepRunner::~SweepRunner() = default;
 
@@ -205,6 +420,20 @@ SweepRunner::setPolicy(SweepPolicy policy)
     policy_ = std::move(policy);
     journal_.reset(); // re-bound (lazily) to the new path
     monitor_.reset();
+}
+
+void
+SweepRunner::setWarmPolicy(WarmPolicy policy)
+{
+    warm_ = policy.enabled
+                ? std::make_shared<WarmStateCache>(std::move(policy))
+                : nullptr;
+}
+
+WarmStateCache::Stats
+SweepRunner::warmStats() const
+{
+    return warm_ != nullptr ? warm_->stats() : WarmStateCache::Stats{};
 }
 
 void
@@ -268,10 +497,11 @@ SweepRunner::jobKey(const SweepJob &job) const
         key += bench;
     }
     key += job.mode == SweepMode::SharedOnly ? "|shared" : "|metrics";
+    const RunOptions &opts = job.options ? *job.options : options_;
     key += '|';
-    key += std::to_string(options_.warmup);
+    key += std::to_string(opts.warmup);
     key += '|';
-    key += std::to_string(options_.measure);
+    key += std::to_string(opts.measure);
     return key;
 }
 
@@ -280,12 +510,20 @@ SweepRunner::execute(Evaluator &eval, const SweepJob &job)
 {
     if (executor_)
         return executor_(eval, job);
+    // A per-job window override gets an ephemeral Evaluator sharing
+    // the worker's caches: the alone-IPC memo keys on the windows, and
+    // the warm cache is exactly what lets a measure-length grid share
+    // one warmed snapshot.
+    Evaluator local(job.options ? *job.options : eval.options(),
+                    cache_);
+    local.setWarmCache(eval.warmCache());
+    Evaluator &use = job.options ? local : eval;
     PairResult result;
     if (job.mode == SweepMode::SharedOnly) {
-        result.stats = eval.runShared(job.arch, job.point, job.benches);
+        result.stats = use.runShared(job.arch, job.point, job.benches);
         result.sharedIpc = result.stats.ipc;
     } else {
-        result = eval.evaluate(job.arch, job.point, job.benches);
+        result = use.evaluate(job.arch, job.point, job.benches);
     }
     return result;
 }
@@ -449,6 +687,7 @@ SweepRunner::runBatch(const std::vector<std::size_t> &todo,
         std::min<std::size_t>(jobs_, todo.size());
     if (workers <= 1) {
         Evaluator eval(options_, cache_);
+        eval.setWarmCache(warm_);
         for (const std::size_t pend_idx : todo)
             runOne(eval, pend_idx, base);
         return;
@@ -456,10 +695,12 @@ SweepRunner::runBatch(const std::vector<std::size_t> &todo,
 
     std::atomic<std::size_t> next{0};
     auto worker = [&]() {
-        // Workers share the alone-IPC memo but nothing else; each
-        // simulation is wholly thread-private, and every failure is
-        // absorbed into the job's outcome rather than thrown.
+        // Workers share the alone-IPC memo and the warm-state cache
+        // but nothing else; each simulation is wholly thread-private,
+        // and every failure is absorbed into the job's outcome rather
+        // than thrown.
         Evaluator eval(options_, cache_);
+        eval.setWarmCache(warm_);
         for (;;) {
             const std::size_t n =
                 next.fetch_add(1, std::memory_order_relaxed);
@@ -561,6 +802,12 @@ SweepRunner::runIsolated(const std::vector<std::size_t> &todo,
                     child.reproPath);
                 injectSweepTestFault(job_idx);
                 Evaluator eval(options_, cache_);
+                // In-memory warm state dies with this child, so only a
+                // file-backed cache (shared through the filesystem
+                // with sibling children and future resumes) is worth
+                // the snapshot-render cost here.
+                if (warm_ != nullptr && !warm_->policy().dir.empty())
+                    eval.setWarmCache(warm_);
                 payload = "ok " + encodePairResult(execute(eval, job));
             } catch (const std::exception &err) {
                 payload = std::string("err ") + err.what();

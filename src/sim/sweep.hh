@@ -43,15 +43,25 @@
  *                               attempt, capped; default 100)
  *   MASK_SWEEP_ISOLATE=1        fork/exec-style subprocess per job
  *   MASK_SWEEP_JOURNAL=<path>   JSONL results journal for resume
+ *
+ * Warm-start execution (DESIGN.md §14): with MASK_SWEEP_WARM=1 (or
+ * MASK_SWEEP_WARM_DIR=<dir>), jobs sharing a warmup fingerprint fork
+ * one warmed snapshot instead of each re-simulating the warmup window
+ * — results stay byte-identical to a fresh serial sweep.
  */
 
 #ifndef MASK_SIM_SWEEP_HH
 #define MASK_SIM_SWEEP_HH
 
+#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
+#include <list>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -82,6 +92,13 @@ struct SweepJob
     DesignPoint point = DesignPoint::SharedTlb;
     std::vector<std::string> benches;
     SweepMode mode = SweepMode::Metrics;
+    /**
+     * Per-job window override; the runner's RunOptions apply when
+     * unset. Warm-start measure grids submit the same (arch, point,
+     * workload) with varying measure windows — they share one warmup
+     * fingerprint, so one warmed snapshot serves the whole grid.
+     */
+    std::optional<RunOptions> options = std::nullopt;
 };
 
 /** How one sweep job ended. */
@@ -123,6 +140,104 @@ SweepPolicy sweepPolicyFromEnv();
  *  capped at 5 seconds. */
 std::uint64_t sweepBackoffMs(const SweepPolicy &policy,
                              unsigned attempt);
+
+// --- Warm-state cache (DESIGN.md §14) --------------------------------
+
+/** Warm-start policy (env-driven by default; settable for tests). */
+struct WarmPolicy
+{
+    bool enabled = false; //!< fork warmed snapshots across jobs
+    std::string dir;      //!< "" = in-memory only; else snapshot files
+    /** In-memory budget; 0 = unlimited. Images over the cap are never
+     *  memory-resident (file-backed mode still serves them). */
+    std::size_t memCapBytes = std::size_t{256} << 20;
+};
+
+/**
+ * Policy from the MASK_SWEEP_WARM* environment knobs:
+ *
+ *   MASK_SWEEP_WARM=1            enable the in-memory warm cache
+ *   MASK_SWEEP_WARM_DIR=<dir>    also persist warm snapshots as files
+ *                                (implies enabled; lets fork-isolated
+ *                                jobs and journal resumes share them)
+ *   MASK_SWEEP_WARM_MEM_MB=<n>   in-memory budget (default 256,
+ *                                0 = unlimited)
+ */
+WarmPolicy warmPolicyFromEnv();
+
+/**
+ * Thread-safe, single-flight cache of warmed snapshot images keyed by
+ * warmStateKey(). The first requester of a key runs warmup once (via
+ * its produce callback) and publishes the image; concurrent requesters
+ * of the same key block until it lands, so no warmup is ever simulated
+ * twice in-process. Ready images live in an LRU ring capped by
+ * WarmPolicy::memCapBytes and, when WarmPolicy::dir is set, as
+ * snapshot files `<dir>/<key>.snap` that other processes (fork-
+ * isolated jobs, journal resumes) restore instead of re-warming.
+ *
+ * The cache stores opaque bytes; consumers validate via
+ * runMeasureFrom(), and on any header/checksum mismatch call
+ * invalidate() + noteFallback() and re-run fresh — corruption can cost
+ * time, never correctness.
+ */
+class WarmStateCache
+{
+  public:
+    explicit WarmStateCache(WarmPolicy policy);
+
+    /** Counters surfaced in bench footers and BENCH_throughput.json. */
+    struct Stats
+    {
+        std::uint64_t hits = 0;       //!< restored a warmed snapshot
+        std::uint64_t misses = 0;     //!< ran warmup and published
+        std::uint64_t evictions = 0;  //!< dropped by the memory cap
+        std::uint64_t bypasses = 0;   //!< run not warm-eligible
+        std::uint64_t fallbacks = 0;  //!< bad image; re-ran fresh
+        std::uint64_t warmupCyclesSaved = 0; //!< cycles not simulated
+    };
+
+    /**
+     * Return the warm image for @p key, producing it via @p produce
+     * (outside the lock) on a miss. @p warmup_cycles is the warmup
+     * window the image replaces, credited to warmupCyclesSaved on
+     * every hit. If the producing thread throws, one blocked waiter
+     * retries the production.
+     */
+    std::string getOrWarm(const std::string &key, Cycle warmup_cycles,
+                          const std::function<std::string()> &produce);
+
+    /** Drop @p key from memory and disk (consumer-detected corruption). */
+    void invalidate(const std::string &key);
+
+    /** Count a warm-ineligible run (checkpointing or obs active). */
+    void noteBypass();
+
+    /** Count a rejected image that fell back to a fresh run. */
+    void noteFallback();
+
+    Stats stats() const;
+    const WarmPolicy &policy() const { return policy_; }
+
+  private:
+    struct Slot
+    {
+        std::string image;
+        bool ready = false;
+        std::list<std::string>::iterator lru;
+    };
+
+    std::string filePath(const std::string &key) const;
+    /** Publish @p image under @p key and evict past the cap. */
+    void publishLocked(const std::string &key, const std::string &image);
+
+    WarmPolicy policy_;
+    mutable std::mutex mutex_;
+    std::condition_variable ready_;
+    std::map<std::string, Slot> slots_;
+    std::list<std::string> lru_; //!< most-recently-used first
+    std::size_t memBytes_ = 0;
+    Stats stats_;
+};
 
 /** Thread-pool executor for batches of independent SweepJobs. */
 class SweepRunner
@@ -175,6 +290,18 @@ class SweepRunner
     /** Override the env policy (tests); resets the journal binding. */
     void setPolicy(SweepPolicy policy);
 
+    /** Override the env warm policy (tests / bench A-B legs). */
+    void setWarmPolicy(WarmPolicy policy);
+
+    /** Warm-cache counters (zeroes when the cache is disabled). */
+    WarmStateCache::Stats warmStats() const;
+
+    /** Warm cache in use, or null when disabled. */
+    const std::shared_ptr<WarmStateCache> &warmCache() const
+    {
+        return warm_;
+    }
+
     /** Replace the job executor (tests: inject failures/hangs). */
     using Executor =
         std::function<PairResult(Evaluator &, const SweepJob &)>;
@@ -202,6 +329,7 @@ class SweepRunner
     unsigned jobs_;
     SweepPolicy policy_;
     std::shared_ptr<AloneIpcCache> cache_;
+    std::shared_ptr<WarmStateCache> warm_;
     std::vector<SweepJob> pending_;
     std::vector<PairResult> results_;
     std::vector<SweepOutcome> outcomes_;
