@@ -144,10 +144,43 @@ reportWarmCache(const SweepRunner &sweep)
                  static_cast<unsigned long long>(warm.evictions));
 }
 
+void
+reportDistSweep(const SweepRunner &sweep)
+{
+    if (!sweep.distActive())
+        return;
+    const DistSweepStats &dist = sweep.distStats();
+    std::fprintf(
+        stderr,
+        "[dist] worker %s: %llu job%s (%llu executed, %llu loaded "
+        "from peers), %llu lease%s claimed, %llu stolen, %llu stale "
+        "seen, %llu steal retr%s, %llu duplicate%s, %llu torn "
+        "line%s, %llu abandoned, %llu wait poll%s\n",
+        dist.worker.c_str(),
+        static_cast<unsigned long long>(dist.jobs),
+        dist.jobs == 1 ? "" : "s",
+        static_cast<unsigned long long>(dist.executed),
+        static_cast<unsigned long long>(dist.loadedRemote),
+        static_cast<unsigned long long>(dist.leasesClaimed),
+        dist.leasesClaimed == 1 ? "" : "s",
+        static_cast<unsigned long long>(dist.leasesStolen),
+        static_cast<unsigned long long>(dist.staleSeen),
+        static_cast<unsigned long long>(dist.stealRetries),
+        dist.stealRetries == 1 ? "y" : "ies",
+        static_cast<unsigned long long>(dist.duplicates),
+        dist.duplicates == 1 ? "" : "s",
+        static_cast<unsigned long long>(dist.tornLines),
+        dist.tornLines == 1 ? "" : "s",
+        static_cast<unsigned long long>(dist.abandoned),
+        static_cast<unsigned long long>(dist.waitPolls),
+        dist.waitPolls == 1 ? "" : "s");
+}
+
 std::size_t
 reportFailures(const SweepRunner &sweep)
 {
     reportWarmCache(sweep);
+    reportDistSweep(sweep);
     const std::size_t failed = sweep.failedJobs();
     if (failed == 0)
         return 0;

@@ -85,6 +85,15 @@ std::size_t reportFailures(const SweepRunner &sweep);
  */
 void reportWarmCache(const SweepRunner &sweep);
 
+/**
+ * Distributed-sweep summary footer to stderr ("[dist] worker ...":
+ * executed/loaded splits, lease claim/steal/duplicate counts); silent
+ * when MASK_SWEEP_DIST_DIR is unset. Stderr for the same reason as
+ * reportWarmCache: bench stdout is byte-compared against a serial
+ * run, and which worker executed which job legitimately differs.
+ */
+void reportDistSweep(const SweepRunner &sweep);
+
 } // namespace bench
 } // namespace mask
 

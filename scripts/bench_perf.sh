@@ -29,6 +29,13 @@
 #     leg is skipped and the comparison labeled inconclusive (the
 #     sweep runner executes jobs=1 inline, so timing it twice would
 #     just measure noise).
+#   "dist": fig11 run by two concurrent worker processes sharing a
+#     lease directory (MASK_SWEEP_DIST_DIR, DESIGN.md section 15).
+#     Records dist_workers, wall_seconds, the summed lease counters
+#     from the workers' [dist] stderr footers (leases_claimed,
+#     leases_stolen, duplicates), and identical -- whether every
+#     worker's merged stdout byte-matched the serial reference (the
+#     script fails if not).
 #
 #   scripts/bench_perf.sh [output.json]
 set -euo pipefail
@@ -103,9 +110,57 @@ else
     echo "serial ${SERIAL}s  (parallel leg skipped)"
 fi
 
+# Distributed leg: two worker processes share a lease directory on
+# the local filesystem and race over the same fig11 job list
+# (DESIGN.md section 15). Both workers merge at exit, so both stdout
+# streams must be byte-identical to the serial reference; the [dist]
+# stderr footer supplies the lease counters recorded in the report.
+DIST_TMP="$(mktemp -d)"
+trap 'rm -rf "$DIST_TMP"' EXIT
+echo "== fig11 sweep: 2 distributed workers (shared lease dir) =="
+MASK_BENCH_FAST=1 MASK_BENCH_JOBS=1 "$FIG11_BIN" \
+    >"$DIST_TMP/ref.out" 2>/dev/null
+t0="$(now_secs)"
+MASK_BENCH_FAST=1 MASK_BENCH_JOBS=1 \
+    MASK_SWEEP_DIST_DIR="$DIST_TMP/dist" MASK_SWEEP_DIST_WORKER=w1 \
+    "$FIG11_BIN" >"$DIST_TMP/w1.out" 2>"$DIST_TMP/w1.err" &
+DIST_PID1=$!
+MASK_BENCH_FAST=1 MASK_BENCH_JOBS=1 \
+    MASK_SWEEP_DIST_DIR="$DIST_TMP/dist" MASK_SWEEP_DIST_WORKER=w2 \
+    "$FIG11_BIN" >"$DIST_TMP/w2.out" 2>"$DIST_TMP/w2.err" &
+DIST_PID2=$!
+wait "$DIST_PID1"
+wait "$DIST_PID2"
+t1="$(now_secs)"
+DIST_WALL="$(echo "$t1 $t0" | awk '{printf "%.3f", $1 - $2}')"
+
+DIST_IDENTICAL=true
+for out in "$DIST_TMP/w1.out" "$DIST_TMP/w2.out"; do
+    if ! cmp -s "$DIST_TMP/ref.out" "$out"; then
+        DIST_IDENTICAL=false
+    fi
+done
+if [ "$DIST_IDENTICAL" != "true" ]; then
+    echo "error: distributed sweep output diverged from serial run" >&2
+    exit 1
+fi
+
+DIST_CLAIMED=0; DIST_STOLEN=0; DIST_DUP=0
+for err in "$DIST_TMP/w1.err" "$DIST_TMP/w2.err"; do
+    line="$(grep '^\[dist\]' "$err" | tail -n 1 || true)"
+    [ -n "$line" ] || continue
+    c="$(echo "$line" | sed -n 's/.* \([0-9]*\) leases claimed.*/\1/p')"
+    s="$(echo "$line" | sed -n 's/.* \([0-9]*\) stolen,.*/\1/p')"
+    d="$(echo "$line" | sed -n 's/.* \([0-9]*\) duplicates,.*/\1/p')"
+    DIST_CLAIMED=$((DIST_CLAIMED + ${c:-0}))
+    DIST_STOLEN=$((DIST_STOLEN + ${s:-0}))
+    DIST_DUP=$((DIST_DUP + ${d:-0}))
+done
+echo "2 workers ${DIST_WALL}s  leases claimed $DIST_CLAIMED  stolen $DIST_STOLEN  duplicates $DIST_DUP  identical=$DIST_IDENTICAL"
+
 # One run entry, built as before...
 RUN_JSON="$(mktemp)"
-trap 'rm -f "$RUN_JSON"' EXIT
+trap 'rm -f "$RUN_JSON"; rm -rf "$DIST_TMP"' EXIT
 {
     echo "{"
     echo "  \"date\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
@@ -124,6 +179,14 @@ trap 'rm -f "$RUN_JSON"' EXIT
     echo "    \"parallel_seconds\": $PARALLEL,"
     echo "    \"speedup\": $SPEEDUP,"
     echo "    \"note\": \"$SWEEP_NOTE\""
+    echo "  },"
+    echo "  \"dist\": {"
+    echo "    \"dist_workers\": 2,"
+    echo "    \"wall_seconds\": $DIST_WALL,"
+    echo "    \"leases_claimed\": $DIST_CLAIMED,"
+    echo "    \"leases_stolen\": $DIST_STOLEN,"
+    echo "    \"duplicates\": $DIST_DUP,"
+    echo "    \"identical\": $DIST_IDENTICAL"
     echo "  }"
     echo "}"
 } >"$RUN_JSON"

@@ -264,3 +264,59 @@ if ! diff -u "$out_a" "$out_b"; then
     exit 1
 fi
 echo "deterministic: journal + warm-file resume byte-identical to uninterrupted run"
+
+# Distributed sweep execution (DESIGN.md §15): two workers share a
+# sweep directory; worker 1 is SIGKILLed while it holds a lease
+# mid-job, worker 2 steals the stale lease, finishes the sweep, and
+# its merged stdout must be byte-identical to the serial baseline. A
+# third merge-only invocation must render the same bytes again from
+# the shards alone.
+echo "== run 13 (distributed: 2 workers, worker 1 SIGKILLed mid-sweep) =="
+dist_dir="$ckpt_dir/dist"
+dist_err="$ckpt_dir/dist_w2.err"
+rm -rf "$dist_dir"
+
+MASK_BENCH_FAST=1 MASK_BENCH_PAIRS=4 MASK_BENCH_JOBS=1 \
+    MASK_SWEEP_DIST_DIR="$dist_dir" MASK_SWEEP_DIST_WORKER=w1 \
+    MASK_SWEEP_DIST_HEARTBEAT_MS=100 MASK_SWEEP_DIST_STEAL_AFTER_MS=1000 \
+    "$BIN" >/dev/null 2>&1 &
+w1_pid=$!
+# Kill worker 1 as soon as it holds a lease: the SIGKILL lands mid-job
+# (fast-window jobs take far longer than the poll), leaving a stale
+# lease and (usually) a torn shard tail for worker 2 to tolerate.
+for _ in $(seq 1 200); do
+    if ls "$dist_dir/leases/"*.lease >/dev/null 2>&1; then break; fi
+    sleep 0.05
+done
+kill -9 "$w1_pid" 2>/dev/null || true
+wait "$w1_pid" 2>/dev/null || true
+if ! ls "$dist_dir/leases/"*.lease >/dev/null 2>&1; then
+    echo "DETERMINISM FAILURE: worker 1 died without leaving a lease to steal" >&2
+    exit 1
+fi
+
+MASK_BENCH_FAST=1 MASK_BENCH_PAIRS=4 MASK_BENCH_JOBS=1 \
+    MASK_SWEEP_DIST_DIR="$dist_dir" MASK_SWEEP_DIST_WORKER=w2 \
+    MASK_SWEEP_DIST_HEARTBEAT_MS=100 MASK_SWEEP_DIST_STEAL_AFTER_MS=1000 \
+    "$BIN" >"$out_b" 2>"$dist_err"
+
+if ! diff -u "$out_a" "$out_b"; then
+    echo "DETERMINISM FAILURE: distributed crash-recovery run diverged from serial run" >&2
+    exit 1
+fi
+if ! grep -q "stole stale lease" "$dist_err"; then
+    echo "DETERMINISM FAILURE: worker 2 recovered without stealing worker 1's lease" >&2
+    cat "$dist_err" >&2
+    exit 1
+fi
+echo "deterministic: distributed recovery (1 worker killed, lease stolen) byte-identical to serial"
+
+MASK_BENCH_FAST=1 MASK_BENCH_PAIRS=4 MASK_BENCH_JOBS=1 \
+    MASK_SWEEP_DIST_DIR="$dist_dir" MASK_SWEEP_DIST_WORKER=w3 \
+    MASK_SWEEP_DIST_MERGE=1 "$BIN" >"$out_b" 2>/dev/null
+
+if ! diff -u "$out_a" "$out_b"; then
+    echo "DETERMINISM FAILURE: merge-only pass diverged from serial run" >&2
+    exit 1
+fi
+echo "deterministic: merge-only shard pass byte-identical to serial"

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Rate limiting for repeated stderr warnings.
+ *
+ * Degraded-but-recoverable conditions (a rejected warm snapshot, a
+ * stolen sweep lease) warn once per occurrence today; a sick worker
+ * that hits the same condition thousands of times floods the log and
+ * buries the one warning that matters. A WarnRateLimiter collapses a
+ * warning class to its first occurrence plus one summary line per N
+ * further occurrences; the caller includes the occurrence count so
+ * the reader knows how much was suppressed.
+ *
+ * Usage:
+ *
+ *     static WarnRateLimiter warns;         // one per warning class
+ *     if (const std::uint64_t n = warns.tick()) {
+ *         std::fprintf(stderr, "...: %s (occurrence %llu%s)\n",
+ *                      detail, n, warns.suppressNote());
+ *     }
+ */
+
+#ifndef MASK_COMMON_RATE_LIMIT_HH
+#define MASK_COMMON_RATE_LIMIT_HH
+
+#include <atomic>
+#include <cstdint>
+
+namespace mask {
+
+/** Thread-safe first-then-every-Nth warning gate. */
+class WarnRateLimiter
+{
+  public:
+    /** Report the 1st occurrence, then every @p every-th. */
+    explicit WarnRateLimiter(std::uint64_t every = 16)
+        : every_(every != 0 ? every : 1)
+    {}
+
+    /**
+     * Count one occurrence. Returns the 1-based occurrence number
+     * when this one should be reported, 0 when it should stay
+     * silent.
+     */
+    std::uint64_t
+    tick()
+    {
+        const std::uint64_t n =
+            count_.fetch_add(1, std::memory_order_relaxed) + 1;
+        return (n == 1 || n % every_ == 0) ? n : 0;
+    }
+
+    /** Occurrences counted so far (reported or suppressed). */
+    std::uint64_t
+    occurrences() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    /** Suffix for a reported line: how the suppression behaves. */
+    const char *
+    suppressNote() const
+    {
+        return occurrences() <= 1
+                   ? "; further warnings rate-limited"
+                   : "; rate-limited summary";
+    }
+
+    std::uint64_t every() const { return every_; }
+
+  private:
+    std::uint64_t every_;
+    std::atomic<std::uint64_t> count_{0};
+};
+
+} // namespace mask
+
+#endif // MASK_COMMON_RATE_LIMIT_HH

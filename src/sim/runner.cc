@@ -7,6 +7,7 @@
 
 #include <sys/stat.h>
 
+#include "common/rate_limit.hh"
 #include "metrics/metrics.hh"
 #include "obs/registry.hh"
 #include "sim/presets.hh"
@@ -14,6 +15,23 @@
 #include "sim/sweep.hh"
 
 namespace mask {
+
+namespace {
+
+/**
+ * Warm-fallback warnings, rate-limited (one warm directory full of
+ * corrupt snapshots would otherwise emit one line per job per sweep).
+ * Shared by the shared-run and alone-run fallback sites: they report
+ * the same degradation class.
+ */
+WarnRateLimiter &
+warmFallbackWarns()
+{
+    static WarnRateLimiter warns;
+    return warns;
+}
+
+} // namespace
 
 RunOptions
 defaultRunOptions()
@@ -257,10 +275,17 @@ Evaluator::runShared(const GpuConfig &arch, DesignPoint point,
                                           options_.warmup,
                                           options_.measure);
                 } catch (const SnapshotError &err) {
-                    std::fprintf(stderr,
-                                 "mask: warm state %s rejected (%s); "
-                                 "falling back to a fresh run\n",
-                                 key.c_str(), err.what());
+                    if (const std::uint64_t n =
+                            warmFallbackWarns().tick()) {
+                        std::fprintf(
+                            stderr,
+                            "mask: warm state %s rejected (%s); "
+                            "falling back to a fresh run "
+                            "(occurrence %llu%s)\n",
+                            key.c_str(), err.what(),
+                            static_cast<unsigned long long>(n),
+                            warmFallbackWarns().suppressNote());
+                    }
                     warm_->invalidate(key);
                     warm_->noteFallback();
                 }
@@ -334,11 +359,17 @@ Evaluator::aloneIpc(const GpuConfig &arch, DesignPoint point,
                                               options_.measure)
                             .ipc[0];
                     } catch (const SnapshotError &err) {
-                        std::fprintf(
-                            stderr,
-                            "mask: warm state %s rejected (%s); "
-                            "falling back to a fresh run\n",
-                            key.c_str(), err.what());
+                        if (const std::uint64_t n =
+                                warmFallbackWarns().tick()) {
+                            std::fprintf(
+                                stderr,
+                                "mask: warm state %s rejected (%s); "
+                                "falling back to a fresh run "
+                                "(occurrence %llu%s)\n",
+                                key.c_str(), err.what(),
+                                static_cast<unsigned long long>(n),
+                                warmFallbackWarns().suppressNote());
+                        }
                         warm_->invalidate(key);
                         warm_->noteFallback();
                     }

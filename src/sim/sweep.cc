@@ -155,8 +155,21 @@ sweepStatusName(SweepStatus status)
       case SweepStatus::Failed: return "Failed";
       case SweepStatus::TimedOut: return "TimedOut";
       case SweepStatus::Crashed: return "Crashed";
+      case SweepStatus::Abandoned: return "Abandoned";
     }
     return "Unknown";
+}
+
+SweepStatus
+sweepStatusFromName(const std::string &name)
+{
+    for (const SweepStatus status :
+         {SweepStatus::Ok, SweepStatus::Failed, SweepStatus::TimedOut,
+          SweepStatus::Crashed, SweepStatus::Abandoned}) {
+        if (name == sweepStatusName(status))
+            return status;
+    }
+    return SweepStatus::Failed;
 }
 
 SweepPolicy
@@ -405,11 +418,12 @@ SweepRunner::SweepRunner(RunOptions options)
 
 SweepRunner::SweepRunner(RunOptions options, unsigned jobs)
     : options_(options), jobs_(jobs != 0 ? jobs : 1),
-      policy_(sweepPolicyFromEnv()),
+      policy_(sweepPolicyFromEnv()), dist_(distPolicyFromEnv()),
       cache_(std::make_shared<AloneIpcCache>())
 {
     if (const WarmPolicy warm = warmPolicyFromEnv(); warm.enabled)
         warm_ = std::make_shared<WarmStateCache>(warm);
+    applyDistWarmDefault();
 }
 
 SweepRunner::~SweepRunner() = default;
@@ -428,6 +442,36 @@ SweepRunner::setWarmPolicy(WarmPolicy policy)
     warm_ = policy.enabled
                 ? std::make_shared<WarmStateCache>(std::move(policy))
                 : nullptr;
+}
+
+void
+SweepRunner::setDistPolicy(DistPolicy policy)
+{
+    dist_ = std::move(policy);
+    journal_.reset(); // re-bound to the worker shard on the next run
+    applyDistWarmDefault();
+}
+
+void
+SweepRunner::applyDistWarmDefault()
+{
+    if (!dist_.enabled())
+        return;
+    // Distributed workers share warm snapshots through the sweep
+    // directory by default: a memory-only (or disabled) warm cache
+    // becomes file-backed at <dist dir>/warm. An explicit
+    // MASK_SWEEP_WARM_DIR (or setWarmPolicy with a dir) wins.
+    WarmPolicy warm =
+        warm_ != nullptr ? warm_->policy() : warmPolicyFromEnv();
+    if (warm.enabled && !warm.dir.empty())
+        return;
+    warm.enabled = true;
+    warm.dir = dist_.dir + "/warm";
+    // The sweep dir may not exist yet (the coordinator creates it at
+    // run()); the warm cache mkdirs only its own leaf, so make the
+    // parent here.
+    ::mkdir(dist_.dir.c_str(), 0755);
+    warm_ = std::make_shared<WarmStateCache>(std::move(warm));
 }
 
 WarmStateCache::Stats
@@ -538,7 +582,8 @@ SweepRunner::finishJob(std::size_t index, const std::string &key,
             journal_->record(
                 key, sweepStatusName(outcome.status),
                 outcome.attempts, outcome.error,
-                outcome.status == SweepStatus::Ok ? &result : nullptr);
+                outcome.status == SweepStatus::Ok ? &result : nullptr,
+                outcome.reproPath);
         } catch (const std::exception &err) {
             std::fprintf(stderr,
                          "[sweep] journal write failed: %s\n",
@@ -617,6 +662,12 @@ SweepRunner::run()
     const std::size_t batch = pending_.size();
     results_.resize(base + batch);
     outcomes_.resize(base + batch);
+
+    if (dist_.enabled()) {
+        runDistributed(base);
+        pending_.clear();
+        return;
+    }
 
     if (!policy_.journalPath.empty() && journal_ == nullptr)
         journal_ = std::make_unique<SweepJournal>(policy_.journalPath);
@@ -716,6 +767,172 @@ SweepRunner::runBatch(const std::vector<std::size_t> &todo,
         pool.emplace_back(worker);
     for (std::thread &t : pool)
         t.join();
+}
+
+// ---------------------------------------------------------------------
+// Distributed execution (MASK_SWEEP_DIST_DIR, DESIGN.md §15)
+// ---------------------------------------------------------------------
+
+void
+SweepRunner::runDistributed(std::size_t base)
+{
+    const std::size_t batch = pending_.size();
+    DistCoordinator dist(dist_);
+    dist.noteJobs(batch);
+
+    // In dist mode the per-worker shard IS the journal: finishJob()
+    // lands every local outcome there as a durable, single-write
+    // record, and peers learn of it by tailing the shard directory.
+    if (!policy_.journalPath.empty() &&
+        policy_.journalPath != dist.shardPath()) {
+        std::fprintf(stderr,
+                     "[dist] MASK_SWEEP_JOURNAL ignored: per-worker "
+                     "shard %s is the journal\n",
+                     dist.shardPath().c_str());
+    }
+    journal_ = std::make_unique<SweepJournal>(dist.shardPath());
+    journal_->setWorkerTag(dist_.worker);
+
+    if (policy_.timeoutMs > 0 && monitor_ == nullptr &&
+        !policy_.isolate)
+        monitor_ = std::make_unique<DeadlineMonitor>();
+
+    Evaluator eval(options_, cache_);
+    eval.setWarmCache(warm_);
+
+    std::vector<std::string> keys(batch);
+    for (std::size_t i = 0; i < batch; ++i)
+        keys[i] = jobKey(pending_[i]);
+
+    // Claim loop: repeated submission-order passes over the batch.
+    // Every pass first ingests what other workers published; a job
+    // with any terminal shard entry is done (unlike a serial-journal
+    // resume, a Failed entry is not re-simulated here — one worker's
+    // permafail must not cascade into every worker re-running it).
+    // Unclaimed jobs are taken with a lease and executed; jobs whose
+    // lease is held elsewhere are skipped and re-checked next pass.
+    std::vector<char> done(batch, 0);
+    std::vector<char> local(batch, 0);
+    std::size_t remaining = batch;
+    while (remaining > 0) {
+        dist.refreshShards();
+        bool progress = false;
+        for (std::size_t i = 0; i < batch; ++i) {
+            if (done[i] != 0)
+                continue;
+            if (dist.terminal(keys[i]) != nullptr) {
+                done[i] = 1; // decoded in the merge pass below
+                --remaining;
+                progress = true;
+                continue;
+            }
+            if (dist_.mergeOnly)
+                continue;
+            unsigned steals = 0;
+            switch (dist.tryClaim(keys[i], &steals)) {
+              case DistCoordinator::Claim::Acquired:
+                if (policy_.isolate)
+                    runIsolated(std::vector<std::size_t>{i}, base);
+                else
+                    runOne(eval, i, base);
+                // Release only after finishJob made the shard record
+                // durable: a lease must never vanish while the job's
+                // completion is still invisible to peers.
+                dist.release(keys[i]);
+                dist.noteExecuted();
+                local[i] = 1;
+                done[i] = 1;
+                --remaining;
+                progress = true;
+                break;
+              case DistCoordinator::Claim::Abandoned: {
+                SweepOutcome outcome;
+                outcome.status = SweepStatus::Abandoned;
+                outcome.attempts = 0;
+                outcome.error =
+                    "lease stolen " + std::to_string(steals) +
+                    " time(s) with no durable result; job abandoned "
+                    "(MASK_SWEEP_DIST_MAX_STEALS=" +
+                    std::to_string(dist_.maxSteals) + ")";
+                finishJob(base + i, keys[i], PairResult{},
+                          std::move(outcome));
+                dist.noteAbandoned();
+                local[i] = 1;
+                done[i] = 1;
+                --remaining;
+                progress = true;
+                break;
+              }
+              case DistCoordinator::Claim::Busy:
+                break;
+            }
+        }
+        if (remaining == 0 || dist_.mergeOnly)
+            break;
+        if (!progress) {
+            dist.noteWaiting(remaining);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(dist_.pollMs));
+        }
+    }
+
+    // Deterministic merge: every job this worker did not execute is
+    // decoded from the shard view's winning entry. The blobs are
+    // bit-exact and winner selection is arrival-order independent, so
+    // this worker's results_ — and any other worker's, and a
+    // merge-only pass's — match a single-process serial run byte for
+    // byte.
+    dist.refreshShards();
+    dist.finalizeMerge();
+    for (std::size_t i = 0; i < batch; ++i) {
+        if (local[i] != 0)
+            continue;
+        const DistCoordinator::Entry *entry = dist.terminal(keys[i]);
+        PairResult result;
+        SweepOutcome outcome;
+        if (entry == nullptr) {
+            outcome.status = SweepStatus::Failed;
+            outcome.error =
+                dist_.mergeOnly
+                    ? "no shard entry for this job "
+                      "(MASK_SWEEP_DIST_MERGE=1 never executes)"
+                    : "no shard entry after distributed run";
+        } else {
+            outcome.status = sweepStatusFromName(entry->status);
+            outcome.attempts = entry->attempts;
+            outcome.error = entry->error;
+            outcome.reproPath = entry->repro;
+            outcome.fromJournal = true;
+            if (outcome.status == SweepStatus::Ok) {
+                try {
+                    result = decodePairResult(entry->blob);
+                    ++journalHits_;
+                } catch (const std::exception &err) {
+                    outcome.status = SweepStatus::Failed;
+                    outcome.error =
+                        std::string("shard entry undecodable: ") +
+                        err.what();
+                }
+            }
+            dist.noteLoaded();
+        }
+        results_[base + i] = std::move(result);
+        outcomes_[base + i] = std::move(outcome);
+    }
+
+    const DistSweepStats stats = dist.stats();
+    distStats_.worker = stats.worker;
+    distStats_.jobs += stats.jobs;
+    distStats_.executed += stats.executed;
+    distStats_.loadedRemote += stats.loadedRemote;
+    distStats_.leasesClaimed += stats.leasesClaimed;
+    distStats_.leasesStolen += stats.leasesStolen;
+    distStats_.staleSeen += stats.staleSeen;
+    distStats_.stealRetries += stats.stealRetries;
+    distStats_.duplicates += stats.duplicates;
+    distStats_.tornLines += stats.tornLines;
+    distStats_.abandoned += stats.abandoned;
+    distStats_.waitPolls += stats.waitPolls;
 }
 
 // ---------------------------------------------------------------------

@@ -48,6 +48,13 @@
  * MASK_SWEEP_WARM_DIR=<dir>), jobs sharing a warmup fingerprint fork
  * one warmed snapshot instead of each re-simulating the warmup window
  * — results stay byte-identical to a fresh serial sweep.
+ *
+ * Distributed execution (DESIGN.md §15): with MASK_SWEEP_DIST_DIR set,
+ * run() becomes one worker of a multi-process sweep coordinated
+ * entirely through that shared directory — lease files claim jobs,
+ * per-worker journal shards publish results, stale leases of crashed
+ * workers are stolen, and every worker's merged output is
+ * byte-identical to a single-process serial run (sweep_dist.hh).
  */
 
 #ifndef MASK_SIM_SWEEP_HH
@@ -67,6 +74,7 @@
 
 #include "common/config.hh"
 #include "sim/runner.hh"
+#include "sim/sweep_dist.hh"
 #include "sim/watchdog.hh"
 
 namespace mask {
@@ -107,10 +115,16 @@ enum class SweepStatus : std::uint8_t {
     Failed,   //!< threw (ConfigError, SimInvariantError, ...)
     TimedOut, //!< exceeded MASK_SWEEP_TIMEOUT_MS and was cancelled
     Crashed,  //!< isolated subprocess died on a fatal signal
+    Abandoned, //!< distributed job stolen MASK_SWEEP_DIST_MAX_STEALS
+               //!< times with no durable result; degraded, not run
 };
 
-/** "Ok" / "Failed" / "TimedOut" / "Crashed". */
+/** "Ok" / "Failed" / "TimedOut" / "Crashed" / "Abandoned". */
 const char *sweepStatusName(SweepStatus status);
+
+/** Inverse of sweepStatusName (unknown names decode as Failed —
+ *  shard entries from a newer writer still merge as failures). */
+SweepStatus sweepStatusFromName(const std::string &name);
 
 /** Structured per-job outcome (valid after run() returns). */
 struct SweepOutcome
@@ -293,6 +307,18 @@ class SweepRunner
     /** Override the env warm policy (tests / bench A-B legs). */
     void setWarmPolicy(WarmPolicy policy);
 
+    /** Override the env dist policy (tests / multi-worker drivers). */
+    void setDistPolicy(DistPolicy policy);
+
+    /** Distributed execution enabled (MASK_SWEEP_DIST_DIR set)? */
+    bool distActive() const { return dist_.enabled(); }
+
+    const DistPolicy &distPolicy() const { return dist_; }
+
+    /** Distributed counters, accumulated over all run() batches
+     *  (zeroes when distribution is off). */
+    const DistSweepStats &distStats() const { return distStats_; }
+
     /** Warm-cache counters (zeroes when the cache is disabled). */
     WarmStateCache::Stats warmStats() const;
 
@@ -315,6 +341,8 @@ class SweepRunner
                   std::size_t base);
     void runIsolated(const std::vector<std::size_t> &todo,
                      std::size_t base);
+    void runDistributed(std::size_t base);
+    void applyDistWarmDefault();
     void runOne(Evaluator &eval, std::size_t pend_idx,
                 std::size_t base);
     SweepOutcome attemptWithPolicy(Evaluator &eval, const SweepJob &job,
@@ -328,6 +356,8 @@ class SweepRunner
     RunOptions options_;
     unsigned jobs_;
     SweepPolicy policy_;
+    DistPolicy dist_;
+    DistSweepStats distStats_;
     std::shared_ptr<AloneIpcCache> cache_;
     std::shared_ptr<WarmStateCache> warm_;
     std::vector<SweepJob> pending_;

@@ -5,8 +5,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <stdexcept>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 namespace mask {
 
@@ -372,24 +374,46 @@ jsonField(const std::string &line, const std::string &field,
 
 SweepJournal::SweepJournal(std::string path) : path_(std::move(path))
 {
-    std::ifstream in(path_);
-    if (!in)
+    const int fd = ::open(path_.c_str(), O_RDONLY);
+    if (fd < 0)
         return; // fresh journal
-    std::string line;
-    std::size_t bad = 0;
-    while (std::getline(in, line)) {
+    std::string data;
+    char buf[1 << 16];
+    for (;;) {
+        const ::ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n > 0) {
+            data.append(buf, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        break;
+    }
+    ::close(fd);
+
+    // Parse complete ('\n'-terminated) lines only. Whatever trails
+    // the final newline is a torn record from a writer killed
+    // mid-append: truncate it away so the next append starts on a
+    // clean line boundary instead of gluing onto the torn tail.
+    std::size_t pos = 0;
+    while (pos < data.size()) {
+        const std::size_t nl = data.find('\n', pos);
+        if (nl == std::string::npos)
+            break; // torn tail, handled below
+        const std::string line = data.substr(pos, nl - pos);
+        pos = nl + 1;
         if (line.empty())
             continue;
         std::string key, status, result;
         if (!jsonField(line, "key", key) ||
             !jsonField(line, "status", status)) {
-            ++bad; // a killed writer can truncate the final line
+            ++malformed_;
             continue;
         }
         if (status != "Ok")
             continue;
         if (!jsonField(line, "result", result)) {
-            ++bad;
+            ++malformed_;
             continue;
         }
         std::string attempts;
@@ -400,12 +424,43 @@ SweepJournal::SweepJournal(std::string path) : path_(std::move(path))
                 std::strtoul(attempts.c_str(), nullptr, 10));
         ok_[key] = std::move(entry); // latest entry per key wins
     }
-    if (bad > 0) {
+    if (pos < data.size()) {
+        tornTail_ = 1;
+        if (::truncate(path_.c_str(),
+                       static_cast<::off_t>(pos)) != 0) {
+            // Repair failure is survivable: appends after the torn
+            // tail produce one more malformed line on the next load.
+            std::fprintf(stderr,
+                         "[sweep] journal %s: cannot truncate torn "
+                         "tail (%zu bytes): %s\n",
+                         path_.c_str(), data.size() - pos,
+                         std::strerror(errno));
+        } else {
+            std::fprintf(stderr,
+                         "[sweep] journal %s: truncated torn final "
+                         "record (%zu bytes)\n",
+                         path_.c_str(), data.size() - pos);
+        }
+    }
+    if (malformed_ > 0) {
         std::fprintf(stderr,
                      "[sweep] journal %s: skipped %zu malformed "
                      "line(s)\n",
-                     path_.c_str(), bad);
+                     path_.c_str(), malformed_);
     }
+}
+
+SweepJournal::~SweepJournal()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+SweepJournal::setWorkerTag(std::string worker)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    worker_ = std::move(worker);
 }
 
 bool
@@ -428,26 +483,42 @@ SweepJournal::lookupOk(const std::string &key, PairResult &result,
 void
 SweepJournal::record(const std::string &key, const char *status,
                      unsigned attempts, const std::string &error,
-                     const PairResult *result)
+                     const PairResult *result,
+                     const std::string &repro)
 {
     std::string blob;
     if (result != nullptr)
         blob = encodePairResult(*result);
 
+    const std::lock_guard<std::mutex> lock(mutex_);
     std::string line = "{\"key\":\"" + jsonEscape(key) +
                        "\",\"status\":\"" + status +
                        "\",\"attempts\":\"" +
                        std::to_string(attempts) + "\",\"error\":\"" +
-                       jsonEscape(error) + "\",\"result\":\"" +
-                       jsonEscape(blob) + "\"}\n";
+                       jsonEscape(error) + "\"";
+    if (!repro.empty())
+        line += ",\"repro\":\"" + jsonEscape(repro) + "\"";
+    if (!worker_.empty())
+        line += ",\"worker\":\"" + jsonEscape(worker_) + "\"";
+    line += ",\"result\":\"" + jsonEscape(blob) + "\"}\n";
 
-    const std::lock_guard<std::mutex> lock(mutex_);
-    std::ofstream out(path_, std::ios::app);
-    if (!out)
-        throw std::runtime_error("cannot append to sweep journal: " +
-                                 path_);
-    out << line << std::flush;
-    if (!out)
+    // One write() on an O_APPEND descriptor: concurrent writers
+    // (sibling processes sharing this journal) each land a whole
+    // record at the file's end; bytes of two records never
+    // interleave. A crash mid-write leaves at most one torn tail,
+    // which the next open truncates away.
+    if (fd_ < 0) {
+        fd_ = ::open(path_.c_str(),
+                     O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+        if (fd_ < 0)
+            throw std::runtime_error(
+                "cannot append to sweep journal: " + path_);
+    }
+    ::ssize_t n;
+    do {
+        n = ::write(fd_, line.data(), line.size());
+    } while (n < 0 && errno == EINTR);
+    if (n != static_cast<::ssize_t>(line.size()))
         throw std::runtime_error("short write to sweep journal: " +
                                  path_);
     if (std::strcmp(status, "Ok") == 0) {

@@ -22,11 +22,24 @@
  *   {"key":"<job key>","status":"Ok","attempts":1,"error":"",
  *    "result":"v2 ..."}
  *
+ * plus optional "repro" (harvested crash-repro path) and "worker"
+ * (distributed-sweep worker id, DESIGN.md §15) fields when non-empty.
+ *
  * The key fingerprints everything that determines a job's result:
  * config fingerprint, design point, bench list, sweep mode, and run
  * windows. On load, the latest "Ok" entry per key wins; failed
  * entries are kept for the record but are never resumed from, so a
  * re-run re-simulates exactly the jobs that did not complete.
+ *
+ * Crash tolerance: every record is appended with a single write() on
+ * an O_APPEND descriptor, so concurrent writers (two processes
+ * sharing one journal, per-worker distributed shards living in one
+ * directory) never interleave bytes of different records. A process
+ * killed mid-append can still leave a torn final line; on open the
+ * journal tolerates it, truncates the file back to the last complete
+ * record (so future appends start on a clean boundary), and counts
+ * it in tornTailLines(). Torn or malformed lines never fail a
+ * resume.
  */
 
 #ifndef MASK_SIM_SWEEP_IO_HH
@@ -66,8 +79,15 @@ bool jsonField(const std::string &line, const std::string &field,
 class SweepJournal
 {
   public:
-    /** Open @p path, loading any entries a previous run left. */
+    /**
+     * Open @p path, loading any entries a previous run left. A torn
+     * final line (writer killed mid-append) is truncated away and
+     * counted, never fatal. Only open a journal this process owns:
+     * the truncation repair must not race a live writer.
+     */
     explicit SweepJournal(std::string path);
+
+    ~SweepJournal();
 
     /**
      * Completed result for @p key from a previous run, if any.
@@ -77,15 +97,31 @@ class SweepJournal
                   unsigned &attempts) const;
 
     /**
-     * Append one outcome. @p result must be non-null when @p status
-     * is "Ok". Malformed I/O throws std::runtime_error.
+     * Append one outcome as a single O_APPEND write. @p result must
+     * be non-null when @p status is "Ok"; @p repro (a harvested
+     * crash-repro path) is recorded when non-empty. Malformed I/O
+     * throws std::runtime_error.
      */
     void record(const std::string &key, const char *status,
                 unsigned attempts, const std::string &error,
-                const PairResult *result);
+                const PairResult *result,
+                const std::string &repro = std::string());
 
     /** Distinct keys with a completed result loaded or recorded. */
     std::size_t okEntries() const;
+
+    /**
+     * Tag every future record with a worker id ("worker" field) —
+     * set by the distributed executor so merged shards identify who
+     * produced each entry.
+     */
+    void setWorkerTag(std::string worker);
+
+    /** Torn trailing lines truncated away on open (0 or 1). */
+    std::size_t tornTailLines() const { return tornTail_; }
+
+    /** Complete-but-unparsable lines skipped on open. */
+    std::size_t malformedLines() const { return malformed_; }
 
     const std::string &path() const { return path_; }
 
@@ -97,7 +133,11 @@ class SweepJournal
     };
 
     std::string path_;
+    std::string worker_;
+    std::size_t tornTail_ = 0;
+    std::size_t malformed_ = 0;
     mutable std::mutex mutex_;
+    int fd_ = -1; //!< lazily-opened O_APPEND descriptor
     std::map<std::string, OkEntry> ok_;
 };
 
